@@ -1,0 +1,24 @@
+"""Benchmark configuration.
+
+Every benchmark regenerates one paper artifact (see DESIGN.md's
+experiment index) and *prints* the rows/series the paper reports, so
+``pytest benchmarks/ --benchmark-only -s`` doubles as the reproduction
+report.  Expensive sweeps run exactly once per session
+(``benchmark.pedantic(rounds=1)``): the timing of interest is the
+end-to-end harness cost, not micro-op statistics.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a harness exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    def _run(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return _run

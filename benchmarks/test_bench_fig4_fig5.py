@@ -1,0 +1,55 @@
+"""Fig. 4 (example LatOp-medium topology) and Fig. 5 (solver progress)."""
+
+import pytest
+
+from repro.experiments import fig4_render, fig5_curves
+
+
+def test_fig4_topology_rendering(once):
+    res = once(fig4_render, 20, allow_generate=False)
+    print("\n" + res.rendering)
+    # the rendered example must be a valid medium-class radix-4 design
+    res.topology.check(radix=4, link_class="medium")
+    u, v = res.cut.partition
+    assert len(u) + len(v) == 20
+    assert res.cut.value > 0
+
+
+def test_fig5_gap_vs_time_reduced(once):
+    """Reduced-scale (3x4) gap curves; full scale is the slow variant."""
+    res = once(fig5_curves, time_limit=15.0)
+    print("\nFig. 5 (reduced 3x4 instance) — objective-bounds gap vs time")
+    for label, curve in res.curves.items():
+        xs, ys = curve.series()
+        tail = ", ".join(f"({x:.1f}s, {y:.0%})" for x, y in zip(xs[-3:], ys[-3:]))
+        print(f"  {label:<7} final gap {curve.final_gap():.0%}   tail: {tail}")
+    # Structural checks: every class yields a finite, weakly-tightening
+    # gap curve.  (The paper's small<medium<large convergence *ordering*
+    # is a 4x5-scale phenomenon — asserted in the full-scale variant
+    # below; at 3x4 the search spaces are too close to separate.)
+    for label, curve in res.curves.items():
+        xs, ys = curve.series()
+        finite = ys[ys == ys]
+        assert finite.size >= 1, label
+        assert finite[-1] <= finite[0] + 1e-9, label
+        assert finite[-1] < 1.0, label
+
+
+@pytest.mark.slow
+def test_fig5_gap_vs_time_full_scale(once):
+    """Paper-scale 4x5 curves via the HiGHS time-limit ladder."""
+    res = once(
+        fig5_curves, backend="scipy", time_limit=60.0, full_scale=True,
+        diameter_bound=5,
+    )
+    print("\nFig. 5 (full 4x5) — gap ladder")
+    for label, curve in res.curves.items():
+        for s in curve.samples:
+            inc = f"{s.incumbent:.0f}" if s.incumbent is not None else "-"
+            print(f"  {label:<7} t={s.time_s:>5.1f}s gap={s.gap:7.2%} inc={inc}")
+    assert all(c.samples for c in res.curves.values())
+    # Paper: the smaller the link-length limit, the faster the
+    # convergence (small closes its gap before large at 4x5 scale).
+    finals = {label: c.final_gap() for label, c in res.curves.items()}
+    print(f"final gaps: { {k: round(v, 3) for k, v in finals.items()} }")
+    assert finals["small"] <= finals["large"] + 0.02

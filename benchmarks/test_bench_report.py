@@ -1,0 +1,13 @@
+"""End-to-end report generation (the EXPERIMENTS.md body)."""
+
+from repro.experiments import generate_report
+
+
+def test_generate_report_fast(once):
+    text = once(generate_report, True)
+    print("\n" + text[:2000] + "\n...[truncated]...")
+    # every section must be present
+    for section in ("Table II", "Fig. 1", "Fig. 6", "Fig. 7", "Fig. 8", "Fig. 9"):
+        assert section in text
+    # measured Folded Torus row must carry the exact paper numbers
+    assert "| medium | FoldedTorus | 40 (40) | 4 (4) | 2.32 (2.32) | 10 (10) |" in text

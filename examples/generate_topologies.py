@@ -1,0 +1,22 @@
+"""Regenerate every frozen artifact from scratch (long-running).
+
+Drives the full generation pass — expert signature reconstructions,
+NS LatOp/SCOp/ShufOpt at 20 routers, LatOp at 30/48 — then freezes the
+results into the package data files.  Budget 1-2 hours on one core.
+
+    python examples/generate_topologies.py
+"""
+
+import runpy
+import os
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+SCRIPTS = os.path.join(HERE, "..", "scripts")
+
+if __name__ == "__main__":
+    print("Stage 1/2: generating artifacts (resumable; ~1-2h cold)...")
+    runpy.run_path(os.path.join(SCRIPTS, "generate_all.py"), run_name="__main__")
+    print("Stage 2/2: freezing into package data files...")
+    runpy.run_path(os.path.join(SCRIPTS, "freeze_artifacts.py"), run_name="__main__")
+    print("done — frozen designs now served by repro.core.netsmith_topology")

@@ -1,0 +1,44 @@
+"""The paper's headline experiment in one script: NetSmith vs experts.
+
+Compares the frozen NetSmith 4x5 designs against the expert-designed
+interposer topologies (Kite family, Folded Torus, Butter Donut, Double
+Butterfly) on topology metrics AND simulated uniform-random traffic, then
+prints a Fig. 1 / Fig. 6-style report.
+
+    python examples/interposer_noi_evaluation.py
+"""
+
+from repro.experiments import MCLB, NDBT, roster, routed_entry
+from repro.sim import latency_throughput_curve, uniform_random
+from repro.topology import average_hops, bisection_bandwidth, diameter
+
+RATES = [0.02, 0.06, 0.10, 0.14, 0.18, 0.22, 0.26, 0.30]
+
+
+def main() -> None:
+    print(f"{'topology':<20} {'class':<8} {'hops':>5} {'diam':>4} {'biBW':>4} "
+          f"{'zero-load':>10} {'saturation':>11}")
+    print("-" * 70)
+    for cls in ("small", "medium", "large"):
+        for entry in roster(cls, 20, include_lpbt=False, allow_generate=False):
+            topo = entry.topology
+            table = routed_entry(entry)
+            curve = latency_throughput_curve(
+                table,
+                uniform_random(20),
+                RATES,
+                link_class=cls,
+                warmup=300,
+                measure=1200,
+            )
+            print(
+                f"{topo.name:<20} {cls:<8} {average_hops(topo):5.2f} "
+                f"{diameter(topo):>4} {bisection_bandwidth(topo):>4} "
+                f"{curve.zero_load_latency_ns:7.1f} ns "
+                f"{curve.saturation_throughput_ns:7.3f} p/n/ns"
+            )
+    print("\n(NS-* rows use MCLB routing; expert rows use NDBT, as in the paper)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""repro — a reproduction of NetSmith (Green & Thottethodi, ICPP 2024).
+
+NetSmith is an optimization framework that *discovers* network-on-
+interposer topologies for general-purpose chiplet multicores via MILP,
+then routes them (MCLB) and assigns deadlock-free virtual channels.
+
+Quickstart::
+
+    from repro import NetSmithConfig, generate_latop, LAYOUT_4X5
+
+    cfg = NetSmithConfig(layout=LAYOUT_4X5, link_class="medium")
+    result = generate_latop(cfg, time_limit=120)
+    print(result.topology.num_links, result.objective)
+
+Subpackages:
+
+* :mod:`repro.milp` — MILP modeling layer + solvers (Gurobi substitute)
+* :mod:`repro.topology` — layouts, Topology, metrics, expert baselines
+* :mod:`repro.routing` — path enumeration, NDBT, CDG/VC machinery
+* :mod:`repro.core` — NetSmith LatOp/SCOp/ShufOpt, MCLB, LPBT baseline
+* :mod:`repro.sim` — flit-serialized NoI simulator + traffic patterns
+* :mod:`repro.fullsys` — PARSEC profiles + closed-loop speedup model
+* :mod:`repro.power` — DSENT-substitute power/area model
+* :mod:`repro.experiments` — per-table/figure reproduction harness
+"""
+
+from .core import (
+    GenerationResult,
+    LPBTConfig,
+    MCLBResult,
+    NetSmithConfig,
+    anneal_topology,
+    generate_latop,
+    generate_lpbt,
+    generate_scop,
+    generate_shufopt,
+    mclb_route,
+    netsmith_topology,
+)
+from .routing import (
+    assign_vcs,
+    build_routing_table,
+    enumerate_shortest_paths,
+    ndbt_route,
+)
+from .topology import (
+    LAYOUT_4X5,
+    LAYOUT_6X5,
+    LAYOUT_8X6,
+    Layout,
+    Topology,
+    average_hops,
+    bisection_bandwidth,
+    diameter,
+    expert_topology,
+    sparsest_cut,
+    standard_layout,
+    summarize,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "NetSmithConfig",
+    "GenerationResult",
+    "generate_latop",
+    "generate_scop",
+    "generate_shufopt",
+    "generate_lpbt",
+    "LPBTConfig",
+    "mclb_route",
+    "MCLBResult",
+    "anneal_topology",
+    "netsmith_topology",
+    "Topology",
+    "Layout",
+    "standard_layout",
+    "LAYOUT_4X5",
+    "LAYOUT_6X5",
+    "LAYOUT_8X6",
+    "average_hops",
+    "diameter",
+    "bisection_bandwidth",
+    "sparsest_cut",
+    "summarize",
+    "expert_topology",
+    "enumerate_shortest_paths",
+    "ndbt_route",
+    "assign_vcs",
+    "build_routing_table",
+]

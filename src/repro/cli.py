@@ -1,0 +1,213 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the library's pipeline:
+
+* ``generate`` — discover a topology (LatOp/SCOp/ShufOpt/SA) and save it;
+* ``evaluate`` — Table II-style metrics for a saved or named topology;
+* ``route``    — MCLB/NDBT route a topology, report channel loads + VCs;
+* ``simulate`` — latency/throughput sweep under a traffic pattern;
+* ``report``   — regenerate the paper's experiment report (EXPERIMENTS-style).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional
+
+
+def _load_or_named(spec: str, n_routers: int):
+    """A topology from a JSON file path, an expert name, or ``ns:<kind>:<class>``."""
+    from .core.pregenerated import netsmith_topology
+    from .topology import expert_topology, load
+    from .topology.expert import EXPERT_FAMILIES
+
+    if spec.endswith(".json"):
+        return load(spec)
+    if spec.startswith("ns:"):
+        _, kind, cls = spec.split(":")
+        return netsmith_topology(kind, cls, n_routers)
+    if spec in EXPERT_FAMILIES:
+        return expert_topology(spec, n_routers)
+    raise SystemExit(
+        f"unknown topology {spec!r}: use a .json path, an expert name "
+        f"({sorted(EXPERT_FAMILIES)}), or ns:<latop|scop|shufopt>:<class>"
+    )
+
+
+def cmd_generate(args) -> int:
+    from .core import (
+        NetSmithConfig,
+        anneal_topology,
+        generate_latop,
+        generate_scop,
+        generate_shufopt,
+    )
+    from .topology import Layout, ascii_art, save
+
+    layout = Layout(rows=args.rows, cols=args.cols)
+    cfg = NetSmithConfig(
+        layout=layout,
+        link_class=args.link_class,
+        radix=args.radix,
+        symmetric=args.symmetric,
+        diameter_bound=args.diameter,
+    )
+    if args.objective == "latency":
+        result = generate_latop(cfg, time_limit=args.time_limit)
+    elif args.objective == "sparsest-cut":
+        result, _ = generate_scop(cfg, time_limit=args.time_limit / 4)
+    elif args.objective == "shuffle":
+        result = generate_shufopt(cfg, time_limit=args.time_limit)
+    else:  # sa
+        result = anneal_topology(cfg, objective="latency", steps=args.sa_steps)
+    topo = result.topology
+    print(ascii_art(topo))
+    print(f"objective={result.objective:.2f} status={result.status}")
+    if args.out:
+        save(topo, args.out)
+        print(f"saved to {args.out}")
+    return 0
+
+
+def cmd_evaluate(args) -> int:
+    from .topology import summarize
+
+    topo = _load_or_named(args.topology, args.routers)
+    s = summarize(topo, exact=topo.n <= 22)
+    print(f"{'topology':<20} {s.name}")
+    print(f"{'links':<20} {s.num_links}")
+    print(f"{'diameter':<20} {s.diameter}")
+    print(f"{'avg hops':<20} {s.avg_hops:.3f}")
+    print(f"{'bisection BW':<20} {s.bisection_bw}")
+    print(f"{'sparsest cut':<20} {s.sparsest_cut_value:.4f}")
+    return 0
+
+
+def cmd_route(args) -> int:
+    from .core import mclb_route
+    from .routing import assign_vcs, build_routing_table, channel_loads, ndbt_route
+
+    topo = _load_or_named(args.topology, args.routers)
+    if args.policy == "mclb":
+        routes = mclb_route(topo, time_limit=args.time_limit).routes
+    else:
+        routes = ndbt_route(topo, seed=args.seed)
+    loads = channel_loads(routes)
+    vca = assign_vcs(routes, seed=args.seed)
+    table = build_routing_table(routes, vca)
+    table.validate()
+    print(f"policy={args.policy} max_load={loads.max_load} "
+          f"mean_load={loads.mean_load:.2f} vcs={vca.num_vcs}")
+    print(f"saturation bound: {loads.saturation_injection(topo.n):.3f} "
+          f"flits/node/cycle")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    from .experiments.registry import routed_table
+    from .sim import (
+        latency_throughput_curve,
+        memory_traffic,
+        shuffle_pattern,
+        uniform_random,
+    )
+
+    topo = _load_or_named(args.topology, args.routers)
+    table = routed_table(topo, args.policy, seed=args.seed, use_cache=False)
+    if args.traffic == "uniform":
+        traffic = uniform_random(topo.n)
+    elif args.traffic == "memory":
+        traffic = memory_traffic(topo.layout)
+    else:
+        traffic = shuffle_pattern(topo.n)
+    rates = [args.max_rate * (k + 1) / args.points for k in range(args.points)]
+    curve = latency_throughput_curve(
+        table, traffic, rates,
+        link_class=args.link_class or topo.link_class,
+        warmup=args.warmup, measure=args.measure, seed=args.seed,
+    )
+    print(f"{'offered':>8} {'latency(cyc)':>13} {'accepted':>9} {'saturated':>9}")
+    for p in curve.points:
+        print(f"{p.offered_rate:8.3f} {p.avg_latency_cycles:13.1f} "
+              f"{p.throughput_packets_node_cycle:9.3f} {str(p.saturated):>9}")
+    print(f"saturation throughput: {curve.saturation_throughput_ns:.3f} "
+          f"packets/node/ns @ {curve.clock_ghz} GHz")
+    return 0
+
+
+def cmd_report(args) -> int:
+    from .experiments.report import generate_report
+
+    text = generate_report(fast=not args.full)
+    print(text)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        print(f"\n[written to {args.out}]", file=sys.stderr)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = p.add_subparsers(dest="command", required=True)
+
+    g = sub.add_parser("generate", help="discover a topology")
+    g.add_argument("--rows", type=int, default=4)
+    g.add_argument("--cols", type=int, default=5)
+    g.add_argument("--link-class", choices=("small", "medium", "large"),
+                   default="medium")
+    g.add_argument("--radix", type=int, default=4)
+    g.add_argument("--objective",
+                   choices=("latency", "sparsest-cut", "shuffle", "sa"),
+                   default="latency")
+    g.add_argument("--symmetric", action="store_true")
+    g.add_argument("--diameter", type=int, default=None)
+    g.add_argument("--time-limit", type=float, default=120.0)
+    g.add_argument("--sa-steps", type=int, default=8000)
+    g.add_argument("--out", default=None, help="save topology JSON here")
+    g.set_defaults(fn=cmd_generate)
+
+    e = sub.add_parser("evaluate", help="Table II metrics for a topology")
+    e.add_argument("topology")
+    e.add_argument("--routers", type=int, default=20)
+    e.set_defaults(fn=cmd_evaluate)
+
+    r = sub.add_parser("route", help="route a topology and report loads")
+    r.add_argument("topology")
+    r.add_argument("--routers", type=int, default=20)
+    r.add_argument("--policy", choices=("mclb", "ndbt"), default="mclb")
+    r.add_argument("--time-limit", type=float, default=60.0)
+    r.add_argument("--seed", type=int, default=0)
+    r.set_defaults(fn=cmd_route)
+
+    s = sub.add_parser("simulate", help="latency/throughput sweep")
+    s.add_argument("topology")
+    s.add_argument("--routers", type=int, default=20)
+    s.add_argument("--policy", choices=("mclb", "ndbt"), default="ndbt")
+    s.add_argument("--traffic", choices=("uniform", "memory", "shuffle"),
+                   default="uniform")
+    s.add_argument("--link-class", default=None)
+    s.add_argument("--max-rate", type=float, default=0.4)
+    s.add_argument("--points", type=int, default=8)
+    s.add_argument("--warmup", type=int, default=300)
+    s.add_argument("--measure", type=int, default=1200)
+    s.add_argument("--seed", type=int, default=0)
+    s.set_defaults(fn=cmd_simulate)
+
+    rep = sub.add_parser("report", help="regenerate the experiment report")
+    rep.add_argument("--full", action="store_true",
+                     help="full-budget sweeps (slow)")
+    rep.add_argument("--out", default=None)
+    rep.set_defaults(fn=cmd_report)
+    return p
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,46 @@
+"""NetSmith core: MILP topology generation (LatOp/SCOp/ShufOpt), MCLB
+routing, the LPBT baseline, solver-progress recording, heuristic search,
+and the frozen-topology registry."""
+
+from .netsmith import (
+    FormulationHandles,
+    GenerationResult,
+    NetSmithConfig,
+    build_distance_formulation,
+    generate_latop,
+    generate_shufopt,
+    shuffle_weights,
+)
+from .scop import SCOpDiagnostics, exhaustive_cut_constraints, generate_scop
+from .mclb import MCLBResult, MultipathResult, mclb_route, mclb_route_multipath
+from .lpbt import LPBTConfig, build_lpbt_model, generate_lpbt
+from .progress import GapCurve, GapSample, record_progress_bnb, record_progress_scipy
+from .search import anneal_topology
+from .pregenerated import netsmith_topology, register as register_pregenerated
+
+__all__ = [
+    "NetSmithConfig",
+    "GenerationResult",
+    "FormulationHandles",
+    "build_distance_formulation",
+    "generate_latop",
+    "generate_shufopt",
+    "shuffle_weights",
+    "generate_scop",
+    "SCOpDiagnostics",
+    "exhaustive_cut_constraints",
+    "MCLBResult",
+    "mclb_route",
+    "mclb_route_multipath",
+    "MultipathResult",
+    "LPBTConfig",
+    "build_lpbt_model",
+    "generate_lpbt",
+    "GapCurve",
+    "GapSample",
+    "record_progress_bnb",
+    "record_progress_scipy",
+    "anneal_topology",
+    "netsmith_topology",
+    "register_pregenerated",
+]

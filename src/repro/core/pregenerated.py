@@ -1,0 +1,152 @@
+"""Frozen NetSmith-generated topologies.
+
+MILP topology generation is minutes-to-hours of solver time (paper
+Section III-C); benchmarks and examples should not pay that repeatedly.
+This registry freezes the best topologies our own solvers (MILP via
+:mod:`repro.core.netsmith`/:mod:`repro.core.scop`, polished by
+:mod:`repro.core.search`) have produced for the paper's standard
+configurations, exactly as the paper's artifacts would ship the generated
+designs.  ``netsmith_topology`` serves frozen designs and falls back to
+live generation for unregistered configurations.
+
+Regenerate with ``examples/generate_topologies.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Tuple
+
+from ..topology import Topology, standard_layout
+
+Link = Tuple[int, int]
+
+#: (kind, link_class, n_routers) -> directed link list.
+#: kind is "latop", "scop", or "shufopt".
+FROZEN: Dict[Tuple[str, str, int], List[Link]] = {}
+
+_DATA_FILE = os.path.join(os.path.dirname(__file__), "_data", "netsmith.json")
+
+
+def _load_data_file() -> None:
+    """Entries from the generation pass ("kind/class/n" -> links)."""
+    if not os.path.exists(_DATA_FILE):
+        return
+    with open(_DATA_FILE) as fh:
+        raw = json.load(fh)
+    for key, links in raw.items():
+        kind, cls, n = key.split("/")
+        FROZEN[(kind, cls, int(n))] = [tuple(l) for l in links]
+
+
+def register(kind: str, link_class: str, n_routers: int, links: List[Link]) -> None:
+    FROZEN[(kind, link_class, n_routers)] = sorted((int(a), int(b)) for a, b in links)
+
+
+def lookup(kind: str, link_class: str, n_routers: int) -> Optional[List[Link]]:
+    return FROZEN.get((kind, link_class, n_routers))
+
+
+_KIND_LABEL = {"latop": "NS-LatOp", "scop": "NS-SCOp", "shufopt": "NS-ShufOpt"}
+
+
+def netsmith_topology(
+    kind: str,
+    link_class: str,
+    n_routers: int = 20,
+    allow_generate: bool = True,
+    time_limit: float = 120.0,
+) -> Topology:
+    """A NetSmith topology for a standard configuration.
+
+    Serves the frozen registry; with ``allow_generate`` falls back to a
+    live (time-limited) solve for unregistered configurations.
+    """
+    if kind not in _KIND_LABEL:
+        raise ValueError(f"kind must be latop/scop/shufopt, got {kind!r}")
+    layout = standard_layout(n_routers)
+    links = lookup(kind, link_class, n_routers)
+    name = f"{_KIND_LABEL[kind]}-{link_class}"
+    if links is not None:
+        return Topology(layout, links, name=name, link_class=link_class)
+    if not allow_generate:
+        raise KeyError(f"no frozen topology for {(kind, link_class, n_routers)}")
+
+    from .netsmith import NetSmithConfig, generate_latop, generate_shufopt
+    from .scop import generate_scop
+
+    cfg = NetSmithConfig(layout=layout, link_class=link_class)
+    if kind == "latop":
+        return generate_latop(cfg, time_limit=time_limit).topology
+    if kind == "shufopt":
+        return generate_shufopt(cfg, time_limit=time_limit).topology
+    gen, _ = generate_scop(cfg, time_limit=time_limit / 4)
+    return gen.topology
+
+
+# ---------------------------------------------------------------------------
+# Registered designs (produced in-repo; see examples/generate_topologies.py)
+# ---------------------------------------------------------------------------
+
+register(
+    "latop",
+    "small",
+    20,
+    [
+        (0, 1), (0, 5), (0, 6), (1, 0), (1, 2), (1, 5), (1, 7), (2, 1),
+        (2, 3), (2, 6), (2, 8), (3, 2), (3, 4), (3, 7), (3, 9), (4, 3),
+        (4, 9), (5, 0), (5, 1), (5, 10), (5, 11), (6, 0), (6, 2), (6, 10),
+        (6, 12), (7, 3), (7, 11), (7, 12), (7, 13), (8, 2), (8, 7), (8, 13),
+        (8, 14), (9, 3), (9, 4), (9, 13), (9, 14), (10, 5), (10, 6),
+        (10, 15), (10, 16), (11, 5), (11, 7), (11, 15), (11, 16), (12, 6),
+        (12, 8), (12, 17), (12, 18), (13, 8), (13, 9), (13, 17), (13, 19),
+        (14, 8), (14, 9), (14, 18), (14, 19), (15, 10), (15, 11), (15, 16),
+        (16, 10), (16, 12), (16, 15), (16, 17), (17, 11), (17, 13), (17, 16),
+        (17, 18), (18, 12), (18, 14), (18, 17), (18, 19), (19, 14), (19, 18),
+    ],
+)
+
+register(
+    "latop",
+    "medium",
+    20,
+    [
+        (0, 1), (0, 2), (0, 5), (0, 6), (1, 2), (1, 3), (1, 5), (1, 6),
+        (2, 0), (2, 4), (2, 8), (2, 12), (3, 1), (3, 4), (3, 9), (3, 13),
+        (4, 2), (4, 3), (4, 8), (4, 14), (5, 1), (5, 7), (5, 10), (5, 15),
+        (6, 0), (6, 7), (6, 11), (6, 16), (7, 5), (7, 6), (7, 13), (7, 17),
+        (8, 2), (8, 3), (8, 7), (8, 18), (9, 4), (9, 7), (9, 14), (9, 19),
+        (10, 0), (10, 6), (10, 12), (10, 15), (11, 1), (11, 13), (11, 16),
+        (11, 17), (12, 8), (12, 10), (12, 11), (12, 18), (13, 3), (13, 9),
+        (13, 12), (13, 14), (14, 4), (14, 9), (14, 12), (14, 19), (15, 5),
+        (15, 10), (15, 16), (15, 17), (16, 10), (16, 11), (16, 15), (16, 18),
+        (17, 11), (17, 15), (17, 19), (18, 8), (18, 14), (18, 16), (18, 19),
+        (19, 9), (19, 13), (19, 17), (19, 18),
+    ],
+)
+
+register(
+    "latop",
+    "large",
+    20,
+    [
+        (0, 1), (0, 2), (0, 6), (0, 10), (1, 0), (1, 7), (1, 11), (1, 12),
+        (2, 3), (2, 5), (2, 8), (2, 9), (3, 1), (3, 6), (3, 8), (4, 2),
+        (4, 7), (4, 13), (5, 0), (5, 2), (5, 10), (5, 16), (6, 1), (6, 5),
+        (6, 13), (6, 17), (7, 1), (7, 2), (7, 6), (7, 18), (8, 3), (8, 9),
+        (8, 12), (8, 14), (9, 3), (9, 4), (9, 7), (9, 19), (10, 0), (10, 7),
+        (10, 11), (10, 15), (11, 0), (11, 5), (11, 10), (11, 12), (12, 8),
+        (12, 14), (12, 15), (12, 18), (13, 3), (13, 4), (13, 14), (13, 16),
+        (14, 4), (14, 9), (14, 17), (14, 19), (15, 5), (15, 16), (15, 17),
+        (16, 11), (16, 13), (16, 15), (16, 18), (17, 6), (17, 10), (17, 18),
+        (17, 19), (18, 9), (18, 11), (18, 16), (18, 17), (19, 8), (19, 12),
+        (19, 13), (19, 14),
+    ],
+)
+
+
+# The generation pass may add/override entries (e.g. SCOp, ShufOpt, 30/48
+# router designs) via the package data file; explicit registrations above
+# act as the fallback when the data file is absent.
+_load_data_file()

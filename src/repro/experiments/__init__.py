@@ -1,0 +1,33 @@
+"""Experiment harness: one module per paper table/figure.
+
+Each module regenerates the corresponding artifact's rows/series and is
+wrapped by a benchmark in ``benchmarks/`` (see DESIGN.md's experiment
+index for the mapping)."""
+
+from .registry import MCLB, NDBT, RANDOM_SP, Entry, roster, routed_entry, routed_table
+from .table2 import PAPER_TABLE2_20, PAPER_TABLE2_30, Table2Row, format_table, table2
+from .fig1 import Fig1Point, fig1_points, pareto_front
+from .fig4 import Fig4Result, fig4_render
+from .fig5 import Fig5Result, fig5_curves
+from .fig6 import Fig6Result, fig6_curves
+from .fig7 import Fig7Bar, fig7_bars, mclb_gain_summary
+from .fig8 import Fig8Result, fig8_results
+from .fig9 import Fig9Row, fig9_rows, ns_large_vs_small_dynamic
+from .fig10 import Fig10Result, fig10_curves
+from .report import generate_report
+from .fig11 import Fig11Point, Fig11Result, fig11_points
+
+__all__ = [
+    "roster", "routed_table", "routed_entry", "Entry", "NDBT", "MCLB", "RANDOM_SP",
+    "table2", "format_table", "Table2Row", "PAPER_TABLE2_20", "PAPER_TABLE2_30",
+    "fig1_points", "pareto_front", "Fig1Point",
+    "fig4_render", "Fig4Result",
+    "fig5_curves", "Fig5Result",
+    "fig6_curves", "Fig6Result",
+    "fig7_bars", "mclb_gain_summary", "Fig7Bar",
+    "fig8_results", "Fig8Result",
+    "fig9_rows", "ns_large_vs_small_dynamic", "Fig9Row",
+    "fig10_curves", "Fig10Result",
+    "fig11_points",
+    "generate_report", "Fig11Result", "Fig11Point",
+]

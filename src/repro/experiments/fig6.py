@@ -1,0 +1,79 @@
+"""Fig. 6: synthetic-traffic latency/throughput curves, 20-router NoIs.
+
+Panel (a) is uniform-random ("coherence") traffic; panel (b) is memory
+traffic, where the MC-column hot spots saturate every topology earlier.
+Each topology is swept at its link-class clock and reported in absolute
+packets/node/ns, as the paper does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..sim import SweepResult, latency_throughput_curve, memory_traffic, uniform_random
+from ..topology import standard_layout
+from .registry import roster, routed_entry
+
+DEFAULT_RATES = tuple(np.round(np.linspace(0.02, 0.40, 9), 3))
+MEMORY_RATES = tuple(np.round(np.linspace(0.01, 0.16, 7), 3))
+
+
+@dataclass
+class Fig6Result:
+    traffic: str
+    curves: Dict[str, SweepResult]
+
+    def saturation_ranking(self) -> List[Tuple[str, float]]:
+        """(name, saturation throughput packets/node/ns), best first."""
+        pairs = [
+            (name, c.saturation_throughput_ns) for name, c in self.curves.items()
+        ]
+        return sorted(pairs, key=lambda p: -p[1])
+
+    def best_netsmith_vs_best_expert(self) -> float:
+        """Saturation-throughput ratio NS/expert (paper: 1.18x-1.75x)."""
+        ns = [v for n, v in self.saturation_ranking() if n.startswith("NS-")]
+        ex = [v for n, v in self.saturation_ranking() if not n.startswith("NS-")]
+        if not ns or not ex or max(ex) == 0:
+            return float("nan")
+        return max(ns) / max(ex)
+
+
+def fig6_curves(
+    traffic_kind: str = "coherence",
+    link_classes: Tuple[str, ...] = ("small", "medium", "large"),
+    n_routers: int = 20,
+    rates: Optional[Sequence[float]] = None,
+    warmup: int = 400,
+    measure: int = 1500,
+    seed: int = 0,
+    allow_generate: bool = True,
+) -> Fig6Result:
+    layout = standard_layout(n_routers)
+    if traffic_kind == "coherence":
+        traffic = uniform_random(layout.n)
+        rates = tuple(rates or DEFAULT_RATES)
+    elif traffic_kind == "memory":
+        traffic = memory_traffic(layout)
+        rates = tuple(rates or MEMORY_RATES)
+    else:
+        raise ValueError(f"traffic_kind must be coherence/memory, got {traffic_kind!r}")
+
+    curves: Dict[str, SweepResult] = {}
+    for cls in link_classes:
+        for entry in roster(cls, n_routers, allow_generate=allow_generate):
+            table = routed_entry(entry, seed=seed)
+            curves[entry.name] = latency_throughput_curve(
+                table,
+                traffic,
+                rates,
+                name=entry.name,
+                link_class=cls,
+                warmup=warmup,
+                measure=measure,
+                seed=seed,
+            )
+    return Fig6Result(traffic=traffic_kind, curves=curves)

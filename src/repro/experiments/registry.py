@@ -1,0 +1,147 @@
+"""Shared experiment infrastructure: topology rosters and routed tables.
+
+Every figure compares the same cast (paper Table II):
+
+* expert baselines routed with NDBT (their published scheme);
+* LPBT machine baselines routed with a single random shortest path (their
+  internally-defined, load-oblivious routing, Section IV-A);
+* NetSmith topologies routed with MCLB (paper: "NetSmith employs MCLB
+  routing only").
+
+``roster`` assembles the per-link-class cast at a given system size,
+serving frozen artifacts where registered; ``routed_table`` applies the
+matching routing policy plus deadlock-free VC assignment and compiles the
+simulator's routing table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.mclb import mclb_route
+from ..core.pregenerated import lookup as ns_lookup, netsmith_topology
+from ..routing import (
+    PathSet,
+    RoutingTable,
+    assign_vcs,
+    build_routing_table,
+    ndbt_route,
+    single_shortest_paths,
+)
+from ..topology import Topology, expert_topology, standard_layout
+from ..topology.expert import EXPERT_FAMILIES
+
+#: Routing policy names.
+NDBT = "ndbt"
+MCLB = "mclb"
+RANDOM_SP = "random"
+
+
+@dataclass
+class Entry:
+    """One contender: a topology plus its routing policy."""
+
+    topology: Topology
+    policy: str
+
+    @property
+    def name(self) -> str:
+        return self.topology.name
+
+
+def roster(
+    link_class: str,
+    n_routers: int = 20,
+    include_lpbt: bool = True,
+    include_scop: bool = True,
+    include_mesh: bool = False,
+    allow_generate: bool = True,
+) -> List[Entry]:
+    """The paper's comparison cast for one link class and size."""
+    entries: List[Entry] = []
+    if include_mesh:
+        entries.append(Entry(expert_topology("Mesh", n_routers), NDBT))
+    for name, cls in EXPERT_FAMILIES.items():
+        if cls != link_class or name == "Mesh":
+            continue
+        try:
+            entries.append(Entry(expert_topology(name, n_routers), NDBT))
+        except ValueError:
+            pass  # family not defined at this size
+    if include_lpbt and n_routers == 20 and link_class == "small":
+        from ..topology import expert_data
+
+        for lp in ("LPBT-Power", "LPBT-Hops"):
+            frozen = expert_data.lookup(lp, n_routers)
+            if frozen is not None:
+                layout = standard_layout(n_routers)
+                entries.append(
+                    Entry(
+                        Topology.from_undirected(
+                            layout, frozen, name=lp, link_class=link_class
+                        ),
+                        RANDOM_SP,
+                    )
+                )
+    # NetSmith contenders
+    try:
+        entries.append(
+            Entry(
+                netsmith_topology("latop", link_class, n_routers, allow_generate),
+                MCLB,
+            )
+        )
+    except KeyError:
+        pass
+    if include_scop and n_routers == 20:
+        try:
+            entries.append(
+                Entry(
+                    netsmith_topology("scop", link_class, n_routers, allow_generate),
+                    MCLB,
+                )
+            )
+        except KeyError:
+            pass
+    return entries
+
+
+_table_cache: Dict[Tuple[str, int, str, str], RoutingTable] = {}
+
+
+def routed_table(
+    topo: Topology,
+    policy: str = NDBT,
+    seed: int = 0,
+    max_vcs: Optional[int] = None,
+    use_cache: bool = True,
+) -> RoutingTable:
+    """Route a topology with a named policy and compile its table.
+
+    The VC budget scales with network size: 8 layers suffice for every
+    20/30-router configuration; irregular 48-router networks with MCLB's
+    unconstrained shortest paths can need a few more.
+    """
+    if max_vcs is None:
+        max_vcs = 8 if topo.n <= 30 else 14
+    key = (topo.name, topo.n, policy, f"{seed}/{topo.num_directed_links}")
+    if use_cache and key in _table_cache:
+        return _table_cache[key]
+    if policy == NDBT:
+        routes = ndbt_route(topo, seed=seed)
+    elif policy == MCLB:
+        routes = mclb_route(topo, time_limit=60.0).routes
+    elif policy == RANDOM_SP:
+        routes = single_shortest_paths(topo, seed=seed)
+    else:
+        raise ValueError(f"unknown routing policy {policy!r}")
+    vca = assign_vcs(routes, max_vcs=max_vcs, seed=seed)
+    table = build_routing_table(routes, vca)
+    if use_cache:
+        _table_cache[key] = table
+    return table
+
+
+def routed_entry(entry: Entry, seed: int = 0) -> RoutingTable:
+    return routed_table(entry.topology, entry.policy, seed=seed)

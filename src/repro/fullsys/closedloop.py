@@ -1,0 +1,170 @@
+"""Closed-loop (request/response) network simulation for full-system runs.
+
+Extends the open-loop :class:`~repro.sim.network.NetworkSimulator` with
+the structure of the paper's full-system traffic (Table IV):
+
+* each NoI router aggregates a concentration of cores (4 per router; the
+  outer columns host memory controllers instead, Fig. 2(b));
+* cores issue *requests* (1-flit control packets) to a directory/memory
+  target and stall-track them until the *response* (9-flit data) returns;
+  per-router outstanding-request budget models the cores' aggregate MLP;
+* responses are generated at the destination after a fixed service
+  latency (directory lookup / DRAM access);
+* the NoC-to-NoI clock-domain crossing (CDC) adds per-hop latency via
+  ``extra_hop_latency`` (2 cycles per crossing pair, Table IV).
+
+The measured quantity is the mean request round-trip — the "average
+packet delay of coherence and memory traffic" the paper reports — which
+:mod:`repro.fullsys.speedup` converts into execution-time speedups.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..routing.tables import RoutingTable
+from ..sim.network import NetworkSimulator
+from ..sim.packet import CONTROL_FLITS, DATA_FLITS, Packet
+from ..sim.traffic import TrafficPattern
+from .workloads import WorkloadProfile
+
+#: Service latency (ns) at the destination before the reply; wall-clock
+#: quantities so the NoI clock class does not distort directory/DRAM time.
+DIRECTORY_LATENCY_NS = 4.0
+MEMORY_LATENCY_NS = 14.0
+#: CDC + NoC traversal charged per NoI hop pair in full-system mode.
+CDC_LATENCY = 2
+
+
+@dataclass
+class ClosedLoopStats:
+    """Round-trip statistics from one closed-loop run."""
+
+    cycles: int
+    completed_requests: int
+    rtt_sum: float
+    n_nodes: int
+
+    @property
+    def avg_round_trip_cycles(self) -> float:
+        if self.completed_requests == 0:
+            return float("nan")
+        return self.rtt_sum / self.completed_requests
+
+    @property
+    def request_throughput(self) -> float:
+        return self.completed_requests / (self.n_nodes * self.cycles)
+
+
+class ClosedLoopSimulator(NetworkSimulator):
+    """Request/response simulation with bounded outstanding requests."""
+
+    def __init__(
+        self,
+        table: RoutingTable,
+        traffic: TrafficPattern,
+        demand_rate: float,
+        mlp_per_node: int = 8,
+        memory_fraction: float = 0.5,
+        mc_routers: Optional[List[int]] = None,
+        noi_clock_ghz: float = 3.0,
+        seed: int = 0,
+        **sim_kw,
+    ):
+        sim_kw.setdefault("extra_hop_latency", CDC_LATENCY)
+        super().__init__(table, traffic, injection_rate=0.0, seed=seed, **sim_kw)
+        self.demand_rate = float(demand_rate)
+        self.mlp = int(mlp_per_node)
+        self.memory_fraction = float(memory_fraction)
+        self.mc_routers = list(mc_routers or self.topo.layout.mc_routers())
+        # service delays are wall-clock; convert to this NoI's cycles
+        self.directory_cycles = max(1, int(round(DIRECTORY_LATENCY_NS * noi_clock_ghz)))
+        self.memory_cycles = max(1, int(round(MEMORY_LATENCY_NS * noi_clock_ghz)))
+        self.outstanding = [0] * self.n
+        self.request_birth = {}
+        # (ready_cycle, dst_of_reply, src_router_serving, size, req_birth)
+        self.pending_replies: List[Tuple[int, int, int, int, int]] = []
+        self.completed = 0
+        self.rtt_sum = 0.0
+        self._measure_rtts = False
+
+    # -- demand-driven request injection -----------------------------------------
+    def _generate(self) -> None:
+        for node in range(self.n):
+            if self.outstanding[node] >= self.mlp:
+                continue
+            if self.rng.random() >= self.demand_rate:
+                continue
+            is_mem = self.rng.random() < self.memory_fraction
+            if is_mem:
+                choices = [m for m in self.mc_routers if m != node]
+                dst = choices[int(self.rng.integers(len(choices)))]
+            else:
+                dst = self.traffic.destination(node, self.rng)
+            pkt = Packet(
+                pid=self._pid,
+                src=node,
+                dst=dst,
+                size_flits=CONTROL_FLITS,
+                birth_cycle=self.cycle,
+                vc=self.table.vc(node, dst),
+            )
+            self._pid += 1
+            self.source_q[node].append(pkt)
+            self.outstanding[node] += 1
+            self.in_flight += 1
+            self.request_birth[pkt.pid] = (pkt.birth_cycle, is_mem)
+
+        # release matured replies into their servers' source queues
+        while self.pending_replies and self.pending_replies[0][0] <= self.cycle:
+            _, dst, server, size, req_birth = heapq.heappop(self.pending_replies)
+            pkt = Packet(
+                pid=self._pid,
+                src=server,
+                dst=dst,
+                size_flits=size,
+                birth_cycle=req_birth,  # RTT measured from request birth
+                vc=self.table.vc(server, dst),
+                is_data=True,
+            )
+            self._pid += 1
+            self.source_q[server].append(pkt)
+            self.in_flight += 1
+
+    def _on_eject(self, pkt: Packet) -> None:
+        if not pkt.is_data:
+            # request arrived at its home node: schedule the data reply
+            meta = self.request_birth.pop(pkt.pid, None)
+            birth, is_mem = meta if meta else (pkt.birth_cycle, False)
+            service = self.memory_cycles if is_mem else self.directory_cycles
+            heapq.heappush(
+                self.pending_replies,
+                (self.cycle + service, pkt.src, pkt.dst, DATA_FLITS, birth),
+            )
+        else:
+            # reply came home: request complete
+            node = pkt.dst
+            self.outstanding[node] = max(0, self.outstanding[node] - 1)
+            self.in_flight -= 1
+            if self._measure_rtts:
+                self.completed += 1
+                self.rtt_sum += self.cycle - pkt.birth_cycle
+
+    def run_closed_loop(self, warmup: int, measure: int) -> ClosedLoopStats:
+        for _ in range(warmup):
+            self.step()
+        self._measure_rtts = True
+        start = self.cycle
+        for _ in range(measure):
+            self.step()
+        self._measure_rtts = False
+        return ClosedLoopStats(
+            cycles=measure,
+            completed_requests=self.completed,
+            rtt_sum=self.rtt_sum,
+            n_nodes=self.n,
+        )

@@ -1,0 +1,140 @@
+"""Execution-time model: network latency -> PARSEC speedup (Fig. 8).
+
+The paper's causal chain is: better topology -> lower packet latency for
+coherence and memory traffic -> fewer core stall cycles -> execution-time
+speedup, with per-benchmark sensitivity set by L2 misses per instruction.
+We model exactly that chain:
+
+``CPI = base_cpi + (l2_mpki / 1000) * miss_latency_core_cycles / mlp``
+
+where ``miss_latency_core_cycles`` is the measured NoI round-trip (NoI
+cycles, from the closed-loop simulation) converted through the NoI and
+core clocks (Table IV: cores at 3.8 GHz; NoI at its link-class clock),
+and ``mlp`` divides the exposed latency by the core's overlap factor.
+
+Speedups are reported relative to the mesh baseline, as in Fig. 8, along
+with the packet-latency reduction (Fig. 8's right axis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..routing.tables import RoutingTable
+from ..sim.traffic import uniform_random
+from ..topology.layout import CLASS_CLOCK_GHZ
+from .closedloop import ClosedLoopSimulator, ClosedLoopStats
+from .workloads import PARSEC, WorkloadProfile
+
+CORE_CLOCK_GHZ = 3.8  # Table IV
+
+
+@dataclass
+class WorkloadResult:
+    """Fig. 8 quantities for one (benchmark, topology) pair."""
+
+    workload: str
+    topology: str
+    avg_packet_latency_ns: float
+    cpi: float
+
+    def speedup_over(self, baseline: "WorkloadResult") -> float:
+        return baseline.cpi / self.cpi
+
+    def latency_reduction_over(self, baseline: "WorkloadResult") -> float:
+        return 1.0 - self.avg_packet_latency_ns / baseline.avg_packet_latency_ns
+
+
+def demand_rate_for(workload: WorkloadProfile, cores_per_router: float = 3.2) -> float:
+    """Per-NoI-router request probability per NoI cycle.
+
+    Each core issues ``l2_mpki/1000`` misses per instruction at roughly
+    ``1/base_cpi`` instructions per core cycle; a router aggregates its
+    concentration of cores, and NoI cycles are shorter than core cycles.
+    Clamped to keep the closed loop stable at the high-MPKI end.
+    """
+    per_core_per_core_cycle = (workload.l2_mpki / 1000.0) / workload.base_cpi
+    rate = per_core_per_core_cycle * cores_per_router
+    return float(min(rate * CORE_CLOCK_GHZ / 3.0, 0.45))
+
+
+def run_workload(
+    table: RoutingTable,
+    workload: WorkloadProfile,
+    link_class: Optional[str] = None,
+    warmup: int = 600,
+    measure: int = 2500,
+    seed: int = 0,
+) -> WorkloadResult:
+    """Closed-loop simulation of one benchmark on one routed topology."""
+    topo = table.topology
+    cls = link_class or topo.link_class or "small"
+    clock = CLASS_CLOCK_GHZ[cls]
+    sim = ClosedLoopSimulator(
+        table,
+        uniform_random(topo.n),
+        demand_rate=demand_rate_for(workload),
+        mlp_per_node=int(round(workload.mlp * 3.2)),
+        memory_fraction=workload.memory_fraction,
+        noi_clock_ghz=clock,
+        seed=seed,
+    )
+    stats = sim.run_closed_loop(warmup, measure)
+    rtt_noi_cycles = stats.avg_round_trip_cycles
+    rtt_ns = rtt_noi_cycles / clock
+    miss_core_cycles = rtt_ns * CORE_CLOCK_GHZ
+    cpi = workload.base_cpi + (
+        workload.l2_mpki / 1000.0
+    ) * miss_core_cycles / workload.mlp
+    return WorkloadResult(
+        workload=workload.name,
+        topology=topo.name,
+        avg_packet_latency_ns=rtt_ns,
+        cpi=float(cpi),
+    )
+
+
+@dataclass
+class Figure8Row:
+    """One benchmark's Fig. 8 bar group (speedups vs mesh per topology)."""
+
+    workload: str
+    speedups: Dict[str, float]
+    latency_reductions: Dict[str, float]
+
+
+def parsec_sweep(
+    tables: Dict[str, RoutingTable],
+    mesh_table: RoutingTable,
+    workloads: Optional[List[WorkloadProfile]] = None,
+    seed: int = 0,
+    warmup: int = 600,
+    measure: int = 2500,
+) -> List[Figure8Row]:
+    """Fig. 8: per-benchmark speedup and latency reduction vs mesh."""
+    workloads = workloads or PARSEC
+    rows = []
+    for w in workloads:
+        base = run_workload(mesh_table, w, seed=seed, warmup=warmup, measure=measure)
+        speed: Dict[str, float] = {}
+        red: Dict[str, float] = {}
+        for name, tab in tables.items():
+            r = run_workload(tab, w, seed=seed, warmup=warmup, measure=measure)
+            speed[name] = r.speedup_over(base)
+            red[name] = r.latency_reduction_over(base)
+        rows.append(Figure8Row(workload=w.name, speedups=speed, latency_reductions=red))
+    return rows
+
+
+def geomean_speedups(rows: List[Figure8Row]) -> Dict[str, float]:
+    """Fig. 8's GEOMEAN group."""
+    if not rows:
+        return {}
+    names = rows[0].speedups.keys()
+    return {
+        n: float(np.exp(np.mean([np.log(r.speedups[n]) for r in rows])))
+        for n in names
+    }

@@ -1,0 +1,63 @@
+"""PARSEC workload profiles for the full-system model (paper Section V-C).
+
+The paper's Fig. 8 orders benchmarks by **L2 misses per instruction** —
+the knob that couples network latency to application performance — and
+simulates every PARSEC benchmark except vips.  gem5 full-system runs are
+out of scope (see DESIGN.md substitutions); instead each benchmark is a
+profile of the quantities the paper's analysis actually exercises:
+
+* ``l2_mpki`` — L2 misses per kilo-instruction (drives traffic volume and
+  the execution-time sensitivity to packet latency); values follow the
+  published PARSEC characterization ordering (Bienia et al., PACT'08 and
+  follow-ups) and the paper's X-axis ordering;
+* ``memory_fraction`` — share of misses served by memory controllers
+  (rest is cache-to-cache coherence traffic);
+* ``base_cpi`` — CPI with an ideal (zero-latency) network;
+* ``mlp`` — sustained memory-level parallelism per core (how much miss
+  latency the OoO core overlaps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Network-relevant characterization of one PARSEC benchmark."""
+
+    name: str
+    l2_mpki: float
+    memory_fraction: float
+    base_cpi: float
+    mlp: float
+
+
+#: Fig. 8's X-axis order: increasing L2 misses per instruction.
+PARSEC: List[WorkloadProfile] = [
+    WorkloadProfile("swaptions", 0.15, 0.55, 0.55, 2.0),
+    WorkloadProfile("blackscholes", 0.25, 0.60, 0.60, 2.0),
+    WorkloadProfile("freqmine", 0.70, 0.55, 0.70, 2.5),
+    WorkloadProfile("bodytrack", 1.00, 0.55, 0.70, 2.5),
+    WorkloadProfile("raytrace", 1.20, 0.50, 0.75, 2.5),
+    WorkloadProfile("x264", 1.60, 0.60, 0.65, 3.0),
+    WorkloadProfile("ferret", 2.10, 0.55, 0.80, 3.0),
+    WorkloadProfile("fluidanimate", 2.30, 0.50, 0.75, 3.0),
+    WorkloadProfile("dedup", 2.60, 0.60, 0.80, 3.5),
+    WorkloadProfile("facesim", 3.20, 0.55, 0.85, 3.5),
+    WorkloadProfile("streamcluster", 6.00, 0.65, 0.90, 4.0),
+    WorkloadProfile("canneal", 10.00, 0.70, 1.00, 4.0),
+]
+
+BY_NAME: Dict[str, WorkloadProfile] = {w.name: w for w in PARSEC}
+
+
+def workload(name: str) -> WorkloadProfile:
+    try:
+        return BY_NAME[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown PARSEC workload {name!r}; choose from "
+            f"{sorted(BY_NAME)}"
+        ) from None

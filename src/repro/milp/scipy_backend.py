@@ -1,0 +1,80 @@
+"""HiGHS backend via :func:`scipy.optimize.milp`."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+from scipy.optimize import Bounds, LinearConstraint, milp
+
+from .model import (
+    FEASIBLE,
+    INFEASIBLE,
+    MAXIMIZE,
+    NO_SOLUTION,
+    OPTIMAL,
+    UNBOUNDED,
+    Model,
+    SolveResult,
+)
+
+# scipy.optimize.milp status codes
+_SCIPY_OPTIMAL = 0
+_SCIPY_INFEASIBLE = 2
+_SCIPY_UNBOUNDED = 3
+_SCIPY_TIME_LIMIT = 1
+
+
+def solve_scipy(
+    model: Model,
+    time_limit: Optional[float] = None,
+    mip_rel_gap: float = 1e-6,
+    node_limit: Optional[int] = None,
+    presolve: bool = True,
+) -> SolveResult:
+    """Solve ``model`` with HiGHS and translate the result."""
+    c, c0, A, lo, hi, integrality, lb, ub = model.to_arrays()
+
+    options: dict = {"mip_rel_gap": mip_rel_gap, "presolve": presolve}
+    if time_limit is not None:
+        options["time_limit"] = float(time_limit)
+    if node_limit is not None:
+        options["node_limit"] = int(node_limit)
+
+    constraints = []
+    if A.shape[0] > 0:
+        constraints.append(LinearConstraint(A, lo, hi))
+
+    res = milp(
+        c=c,
+        constraints=constraints,
+        integrality=integrality,
+        bounds=Bounds(lb, ub),
+        options=options,
+    )
+
+    sign = -1.0 if model.sense == MAXIMIZE else 1.0
+
+    if res.status == _SCIPY_OPTIMAL and res.x is not None:
+        obj = sign * (float(res.fun) + c0)
+        return SolveResult(
+            status=OPTIMAL,
+            objective=obj,
+            x=np.asarray(res.x),
+            mip_gap=float(getattr(res, "mip_gap", 0.0) or 0.0),
+            solve_time_s=0.0,
+        )
+    if res.status == _SCIPY_TIME_LIMIT and res.x is not None:
+        obj = sign * (float(res.fun) + c0)
+        return SolveResult(
+            status=FEASIBLE,
+            objective=obj,
+            x=np.asarray(res.x),
+            mip_gap=float(getattr(res, "mip_gap", np.inf) or np.inf),
+            solve_time_s=0.0,
+        )
+    if res.status == _SCIPY_INFEASIBLE:
+        return SolveResult(INFEASIBLE, None, None, np.inf, 0.0)
+    if res.status == _SCIPY_UNBOUNDED:
+        return SolveResult(UNBOUNDED, None, None, np.inf, 0.0)
+    return SolveResult(NO_SOLUTION, None, None, np.inf, 0.0)

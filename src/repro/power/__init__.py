@@ -1,0 +1,10 @@
+"""DSENT-substitute analytical power and area model."""
+
+from .dsent import (
+    INTERPOSER_AREA_MM2,
+    PowerArea,
+    analyze,
+    compare_to_mesh,
+)
+
+__all__ = ["PowerArea", "analyze", "compare_to_mesh", "INTERPOSER_AREA_MM2"]

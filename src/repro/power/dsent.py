@@ -1,0 +1,126 @@
+"""DSENT-substitute power/area model (paper Section V-D, Fig. 9).
+
+Fig. 9 reports *mesh-normalized* NoI power and area from DSENT's 22nm
+bulk LVT model.  The relative quantities depend on a handful of
+first-order relationships, which this model captures:
+
+* **router leakage** scales with router count and radix — identical
+  across the compared topologies (same 20 routers, same radix), so the
+  leakage bar is flat, as the paper observes;
+* **router dynamic** power scales with flit activity and clock;
+* **wire dynamic** power scales with aggregate wire length, activity and
+  clock — the variable component across topologies;
+* **wire leakage** (repeaters) scales with aggregate wire length;
+* **area** splits into router area (radix-quadratic crossbars) and wire
+  area (length times pitch) — wires dominate, per the paper.
+
+Coefficients are calibrated so a 20-router mesh at 3.6 GHz lands near
+DSENT-published magnitudes for 22nm interposer NoCs (~tens of mW per
+router-class component); only ratios matter for the reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..topology import Topology, total_wire_length
+from ..topology.layout import CLASS_CLOCK_GHZ
+
+#: Technology constants (22nm bulk LVT flavored).
+ROUTER_LEAKAGE_MW = 2.1  # per router
+ROUTER_DYNAMIC_MW_PER_GHZ = 1.3  # per router at activity 1.0
+WIRE_LEAKAGE_MW_PER_UNIT = 0.35  # repeater leakage per grid-unit of wire
+WIRE_DYNAMIC_MW_PER_UNIT_GHZ = 0.55  # per grid-unit at activity 1.0
+
+ROUTER_AREA_MM2 = 0.018  # per router (radix-4 NoI crossbar + buffers)
+ROUTER_AREA_RADIX_EXP = 2.0  # crossbar area ~ radix^2
+WIRE_AREA_MM2_PER_UNIT = 0.024  # per grid-unit of full-duplex wiring
+BASE_RADIX = 4
+
+#: Interposer area for the 4-chiplet system of Fig. 2 (mm^2), used for the
+#: "under 3% of interposer area" check.
+INTERPOSER_AREA_MM2 = 480.0
+
+
+@dataclass
+class PowerArea:
+    """Power (mW) and area (mm^2) breakdown for one NoI topology."""
+
+    name: str
+    static_power_mw: float
+    dynamic_power_mw: float
+    router_area_mm2: float
+    wire_area_mm2: float
+
+    @property
+    def total_power_mw(self) -> float:
+        return self.static_power_mw + self.dynamic_power_mw
+
+    @property
+    def total_area_mm2(self) -> float:
+        return self.router_area_mm2 + self.wire_area_mm2
+
+    @property
+    def interposer_area_fraction(self) -> float:
+        return self.total_area_mm2 / INTERPOSER_AREA_MM2
+
+    def normalized_to(self, base: "PowerArea") -> Dict[str, float]:
+        """Fig. 9's mesh-relative quantities (lower is better)."""
+        return {
+            "static_power": self.static_power_mw / base.static_power_mw,
+            "dynamic_power": self.dynamic_power_mw / base.dynamic_power_mw,
+            "total_power": self.total_power_mw / base.total_power_mw,
+            "router_area": self.router_area_mm2 / base.router_area_mm2,
+            "wire_area": self.wire_area_mm2 / base.wire_area_mm2,
+            "total_area": self.total_area_mm2 / base.total_area_mm2,
+        }
+
+
+def analyze(
+    topo: Topology,
+    clock_ghz: Optional[float] = None,
+    activity: float = 0.3,
+    radix: int = BASE_RADIX,
+) -> PowerArea:
+    """Estimate the NoI's power and area.
+
+    ``activity`` is the average channel utilization from simulation (the
+    paper feeds measured activity statistics into DSENT); ``clock_ghz``
+    defaults to the topology's link-class clock, which is what gives
+    *large* topologies their ~17% dynamic-power advantage over *small*
+    ones despite longer wires.
+    """
+    if clock_ghz is None:
+        clock_ghz = CLASS_CLOCK_GHZ.get(topo.link_class or "", 3.6)
+    wire_units = total_wire_length(topo) / 2.0  # full-duplex resources
+
+    static = (
+        topo.n * ROUTER_LEAKAGE_MW + wire_units * WIRE_LEAKAGE_MW_PER_UNIT
+    )
+    dynamic = (
+        topo.n * ROUTER_DYNAMIC_MW_PER_GHZ * clock_ghz * activity
+        + wire_units * WIRE_DYNAMIC_MW_PER_UNIT_GHZ * clock_ghz * activity
+    )
+    router_area = topo.n * ROUTER_AREA_MM2 * (radix / BASE_RADIX) ** ROUTER_AREA_RADIX_EXP
+    wire_area = wire_units * WIRE_AREA_MM2_PER_UNIT
+    return PowerArea(
+        name=topo.name,
+        static_power_mw=static,
+        dynamic_power_mw=dynamic,
+        router_area_mm2=router_area,
+        wire_area_mm2=wire_area,
+    )
+
+
+def compare_to_mesh(
+    topos,
+    mesh_topo: Topology,
+    activity: float = 0.3,
+) -> Dict[str, Dict[str, float]]:
+    """Fig. 9's table: per-topology power/area normalized to mesh."""
+    base = analyze(mesh_topo, activity=activity)
+    out = {}
+    for t in topos:
+        out[t.name] = analyze(t, activity=activity).normalized_to(base)
+    return out

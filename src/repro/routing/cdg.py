@@ -1,0 +1,56 @@
+"""Channel dependency graphs (Dally & Seitz deadlock theory, paper II-F).
+
+A CDG node is a directed channel ``(i, j)``; an edge ``(a,b) -> (b,c)``
+exists when some route occupies channel ``(a,b)`` and then ``(b,c)``.
+Acyclic CDGs are sufficient for deadlock-free wormhole routing; the VC
+allocator (:mod:`repro.routing.vc_alloc`) partitions routes into layers
+whose per-layer CDGs are acyclic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from .paths import Path, PathSet
+
+Channel = Tuple[int, int]
+Dependency = Tuple[Channel, Channel]
+
+
+def path_dependencies(path: Path) -> List[Dependency]:
+    """Consecutive channel pairs a route occupies."""
+    chans = [(path[k], path[k + 1]) for k in range(len(path) - 1)]
+    return [(chans[k], chans[k + 1]) for k in range(len(chans) - 1)]
+
+
+def build_cdg(paths: Iterable[Path]) -> nx.DiGraph:
+    """CDG of a set of routes; edges annotated with the inducing paths."""
+    g = nx.DiGraph()
+    for p in paths:
+        for dep in path_dependencies(p):
+            a, b = dep
+            if g.has_edge(a, b):
+                g[a][b]["paths"].append(p)
+            else:
+                g.add_edge(a, b, paths=[p])
+    return g
+
+
+def find_cycle(g: nx.DiGraph) -> Optional[List[Dependency]]:
+    """One directed cycle as a list of CDG edges, or ``None`` if acyclic."""
+    try:
+        cyc = nx.find_cycle(g, orientation="original")
+    except nx.NetworkXNoCycle:
+        return None
+    return [(u, v) for u, v, _ in cyc]
+
+
+def is_acyclic(g: nx.DiGraph) -> bool:
+    return nx.is_directed_acyclic_graph(g)
+
+
+def paths_are_deadlock_free(paths: Iterable[Path]) -> bool:
+    """True when the routes' CDG is acyclic (single-VC deadlock freedom)."""
+    return is_acyclic(build_cdg(list(paths)))

@@ -1,0 +1,66 @@
+"""NDBT routing: shortest paths with "no double-back turns" (paper II-E).
+
+The expert-designed topologies (Kite, Butter Donut, Double Butterfly,
+Folded Torus) all use shortest-path routing restricted by a turn rule: no
+route may double back along the horizontal axis — once a path has moved
+in the +x direction it may never move in -x, and vice versa.  Vertical
+movement is unconstrained.  Deadlock freedom then follows from the usual
+turn-model argument with a small number of escape VCs.
+
+Among the remaining valid choices, paths are selected uniformly at random
+(the paper's stated policy).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..topology import Topology
+from .paths import Path, PathSet, enumerate_shortest_paths
+
+
+def doubles_back_horizontally(topo: Topology, path: Path) -> bool:
+    """True if the path reverses its horizontal direction at any point."""
+    direction = 0  # 0 = undecided, +1 = east, -1 = west
+    for k in range(len(path) - 1):
+        xa, _ = topo.layout.position(path[k])
+        xb, _ = topo.layout.position(path[k + 1])
+        dx = xb - xa
+        if dx == 0:
+            continue
+        step = 1 if dx > 0 else -1
+        if direction == 0:
+            direction = step
+        elif step != direction:
+            return True
+    return False
+
+
+def ndbt_paths(topo: Topology, max_paths_per_pair: int = 64) -> PathSet:
+    """All minimal paths satisfying the no-double-back rule.
+
+    Pairs whose *every* minimal path doubles back keep their full path set
+    (the rule only prunes when alternatives exist — otherwise the network
+    would be unroutable; the expert topologies are designed so this case
+    does not arise, but machine topologies routed with NDBT need the
+    fallback).
+    """
+    full = enumerate_shortest_paths(topo, max_paths_per_pair=max_paths_per_pair)
+    filtered: Dict[Tuple[int, int], List[Path]] = {}
+    for sd, plist in full.paths.items():
+        kept = [p for p in plist if not doubles_back_horizontally(topo, p)]
+        filtered[sd] = kept if kept else plist
+    return PathSet(topology=topo, paths=filtered)
+
+
+def ndbt_route(topo: Topology, seed: int = 0, max_paths_per_pair: int = 64) -> PathSet:
+    """One random NDBT-valid minimal path per flow (the evaluation policy)."""
+    candidates = ndbt_paths(topo, max_paths_per_pair=max_paths_per_pair)
+    rng = np.random.default_rng(seed)
+    picked = {
+        sd: [plist[int(rng.integers(len(plist)))]]
+        for sd, plist in candidates.paths.items()
+    }
+    return PathSet(topology=topo, paths=picked)

@@ -1,0 +1,83 @@
+"""Table-based routing state for the simulator (paper II-E).
+
+``RoutingTable`` is the deployable artifact NetSmith emits: for every
+(current router, destination) it stores the next hop and, per flow, the
+assigned VC layer.  Built from a single-path :class:`PathSet` plus a
+:class:`VCAssignment`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..topology import Topology
+from .paths import Path, PathSet
+from .vc_alloc import VCAssignment
+
+
+@dataclass
+class RoutingTable:
+    """Deterministic per-flow table routing with VC assignment."""
+
+    topology: Topology
+    next_hop: Dict[Tuple[int, int, int], int]  # (node, src, dst) -> next node
+    flow_vc: Dict[Tuple[int, int], int]  # (src, dst) -> vc layer
+    num_vcs: int
+
+    def hop(self, node: int, src: int, dst: int) -> int:
+        """Next router for a packet of flow (src, dst) at ``node``."""
+        return self.next_hop[(node, src, dst)]
+
+    def vc(self, src: int, dst: int) -> int:
+        return self.flow_vc[(src, dst)]
+
+    def route_of(self, src: int, dst: int) -> Path:
+        """Reconstruct the full path of a flow from the table."""
+        path = [src]
+        node = src
+        while node != dst:
+            node = self.hop(node, src, dst)
+            path.append(node)
+            if len(path) > self.topology.n + 1:
+                raise RuntimeError(f"routing loop for flow ({src},{dst})")
+        return tuple(path)
+
+    def validate(self) -> None:
+        """Every flow must reach its destination over existing links."""
+        n = self.topology.n
+        for s in range(n):
+            for d in range(n):
+                if s == d:
+                    continue
+                p = self.route_of(s, d)
+                for k in range(len(p) - 1):
+                    if not self.topology.has_link(p[k], p[k + 1]):
+                        raise AssertionError(
+                            f"table routes flow ({s},{d}) over missing link "
+                            f"({p[k]},{p[k+1]})"
+                        )
+
+
+def build_routing_table(
+    routes: PathSet, vca: Optional[VCAssignment] = None
+) -> RoutingTable:
+    """Compile a single-path route set (+ VC assignment) into a table."""
+    next_hop: Dict[Tuple[int, int, int], int] = {}
+    flow_vc: Dict[Tuple[int, int], int] = {}
+    for sd in routes.pairs():
+        plist = routes[sd]
+        if len(plist) != 1:
+            raise ValueError(f"flow {sd} has {len(plist)} routes; expected one")
+        p = plist[0]
+        s, d = sd
+        for k in range(len(p) - 1):
+            next_hop[(p[k], s, d)] = p[k + 1]
+        flow_vc[sd] = vca.vc_of(s, d) if vca is not None else 0
+    num_vcs = vca.num_vcs if vca is not None else 1
+    return RoutingTable(
+        topology=routes.topology,
+        next_hop=next_hop,
+        flow_vc=flow_vc,
+        num_vcs=num_vcs,
+    )

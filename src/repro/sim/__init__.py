@@ -1,0 +1,71 @@
+"""Flit-serialized, VC-aware NoI network simulator and traffic generators."""
+
+from .network import (
+    DEFAULT_VC_BUFFER_FLITS,
+    LINK_LATENCY,
+    ROUTER_LATENCY,
+    NetworkSimulator,
+    SimStats,
+)
+from .packet import (
+    CONTROL_FLITS,
+    DATA_FLITS,
+    MEAN_FLITS_PER_PACKET,
+    Packet,
+)
+from .stats import (
+    ChannelStats,
+    DeadlockError,
+    InstrumentationReport,
+    InstrumentedSimulator,
+    measure_activity,
+)
+from .sweep import (
+    SweepPoint,
+    SweepResult,
+    find_saturation,
+    latency_throughput_curve,
+    run_point,
+)
+from .traffic import (
+    TrafficPattern,
+    bit_complement,
+    hotspot,
+    memory_traffic,
+    neighbor,
+    shuffle_pattern,
+    tornado,
+    transpose,
+    uniform_random,
+)
+
+__all__ = [
+    "NetworkSimulator",
+    "SimStats",
+    "Packet",
+    "CONTROL_FLITS",
+    "DATA_FLITS",
+    "MEAN_FLITS_PER_PACKET",
+    "TrafficPattern",
+    "uniform_random",
+    "memory_traffic",
+    "shuffle_pattern",
+    "hotspot",
+    "bit_complement",
+    "transpose",
+    "tornado",
+    "neighbor",
+    "InstrumentedSimulator",
+    "InstrumentationReport",
+    "ChannelStats",
+    "DeadlockError",
+    "measure_activity",
+    "latency_throughput_curve",
+    "find_saturation",
+    "run_point",
+    "SweepPoint",
+    "SweepResult",
+    "ROUTER_LATENCY",
+    "LINK_LATENCY",
+    "DEFAULT_VC_BUFFER_FLITS",
+]

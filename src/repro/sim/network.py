@@ -1,0 +1,263 @@
+"""Cycle-driven NoI network simulator (the HeteroGarnet substitute).
+
+Models an input-queued, virtual-channel, virtual-cut-through network:
+
+* each directed link is a physical channel with 1 flit/cycle capacity; a
+  packet of ``k`` flits occupies its channel for ``k`` cycles
+  (serialization) and then lands in the downstream per-VC input buffer
+  after the router pipeline (2 cycles) plus link traversal (1 cycle);
+* per-(channel, VC) input buffers have finite flit capacity; a packet
+  only advances when its *entire* size fits downstream (virtual
+  cut-through), producing the same backpressure-driven saturation
+  behaviour as credit-based wormhole at far lower simulation cost;
+* VC selection is static per flow from the deadlock-free assignment
+  (:mod:`repro.routing.vc_alloc`), so per-VC channel dependency graphs
+  stay acyclic and the simulated network cannot deadlock;
+* output arbitration is round-robin among requesting input queues;
+* injection and ejection are modeled as explicit serialized ports, so
+  local port bottlenecks (paper II-D) are present but provisioned
+  per-router as the paper assumes.
+
+The simulator reports average packet latency (cycles) and accepted
+throughput; :mod:`repro.sim.sweep` converts these into the paper's
+latency-vs-throughput curves with per-class clock scaling.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..routing.tables import RoutingTable
+from .packet import Packet
+from .traffic import TrafficPattern
+
+Channel = Tuple[int, int]
+
+ROUTER_LATENCY = 2  # cycles per router pipeline (Table IV)
+LINK_LATENCY = 1  # cycles per link traversal
+DEFAULT_VC_BUFFER_FLITS = 18  # two data packets per VC buffer
+
+
+@dataclass
+class SimStats:
+    """Measurement-window statistics."""
+
+    cycles: int
+    offered_packets: int
+    ejected_packets: int
+    ejected_flits: int
+    latency_sum: float
+    latency_count: int
+    n_nodes: int
+
+    @property
+    def avg_latency_cycles(self) -> float:
+        if self.latency_count == 0:
+            return float("nan")
+        return self.latency_sum / self.latency_count
+
+    @property
+    def throughput_packets_node_cycle(self) -> float:
+        return self.ejected_packets / (self.n_nodes * self.cycles)
+
+    @property
+    def throughput_flits_node_cycle(self) -> float:
+        return self.ejected_flits / (self.n_nodes * self.cycles)
+
+    @property
+    def offered_packets_node_cycle(self) -> float:
+        return self.offered_packets / (self.n_nodes * self.cycles)
+
+
+class NetworkSimulator:
+    """One simulation instance bound to a routing table and traffic."""
+
+    def __init__(
+        self,
+        table: RoutingTable,
+        traffic: TrafficPattern,
+        injection_rate: float,
+        seed: int = 0,
+        vc_buffer_flits: int = DEFAULT_VC_BUFFER_FLITS,
+        router_latency: int = ROUTER_LATENCY,
+        link_latency: int = LINK_LATENCY,
+        extra_hop_latency: int = 0,
+    ):
+        self.table = table
+        self.topo = table.topology
+        self.traffic = traffic
+        self.rate = float(injection_rate)
+        self.rng = np.random.default_rng(seed)
+        self.vc_cap = vc_buffer_flits
+        self.hop_delay = router_latency + link_latency + extra_hop_latency
+        self.num_vcs = table.num_vcs
+
+        n = self.topo.n
+        self.n = n
+        # physical channels: directed links plus one injection pseudo-channel
+        # per router (key (-1, r)); ejection handled by per-router port.
+        self.channels: List[Channel] = list(self.topo.directed_links)
+        self.inputs_of: Dict[int, List[Channel]] = {
+            r: [(-1, r)] for r in range(n)
+        }
+        for (u, v) in self.channels:
+            self.inputs_of[v].append((u, v))
+
+        all_queues = self.channels + [(-1, r) for r in range(n)]
+        self.queues: Dict[Channel, List[Deque[Tuple[int, Packet]]]] = {
+            c: [deque() for _ in range(self.num_vcs)] for c in all_queues
+        }
+        self.free_flits: Dict[Channel, List[int]] = {
+            c: [self.vc_cap] * self.num_vcs for c in all_queues
+        }
+        self.busy_until: Dict[Channel, int] = {c: 0 for c in self.channels}
+        self.rr: Dict[Channel, int] = {c: 0 for c in self.channels}
+        self.inj_busy = [0] * n
+        self.ej_busy = [0] * n
+        self.ej_rr = [0] * n
+        self.source_q: List[Deque[Packet]] = [deque() for _ in range(n)]
+
+        self._pid = 0
+        self.cycle = 0
+        # measurement state
+        self.measuring = False
+        self.measure_start = 0
+        self.offered = 0
+        self.ejected = 0
+        self.ejected_flits = 0
+        self.lat_sum = 0.0
+        self.lat_count = 0
+        self.in_flight = 0
+
+    # -- injection ------------------------------------------------------------
+    def _generate(self) -> None:
+        lam = self.rate
+        if lam <= 0:
+            return
+        draws = self.rng.random(self.n)
+        for node in range(self.n):
+            # Bernoulli per cycle; rates above 1.0 inject multiple packets.
+            count = int(lam) + (1 if draws[node] < lam - int(lam) else 0)
+            for _ in range(count):
+                dst = self.traffic.destination(node, self.rng)
+                size = self.traffic.packet_size(self.rng)
+                pkt = Packet(
+                    pid=self._pid,
+                    src=node,
+                    dst=dst,
+                    size_flits=size,
+                    birth_cycle=self.cycle,
+                    vc=self.table.vc(node, dst),
+                    is_data=size > 1,
+                )
+                self._pid += 1
+                self.source_q[node].append(pkt)
+                self.in_flight += 1
+                if self.measuring:
+                    self.offered += 1
+
+    def _inject(self) -> None:
+        for node in range(self.n):
+            if self.inj_busy[node] > self.cycle or not self.source_q[node]:
+                continue
+            pkt = self.source_q[node][0]
+            inj = (-1, node)
+            if self.free_flits[inj][pkt.vc] < pkt.size_flits:
+                continue
+            self.source_q[node].popleft()
+            self.free_flits[inj][pkt.vc] -= pkt.size_flits
+            self.inj_busy[node] = self.cycle + pkt.size_flits
+            self.queues[inj][pkt.vc].append((self.cycle + pkt.size_flits, pkt))
+
+    # -- switching -------------------------------------------------------------
+    def _arbitrate_router(self, u: int) -> None:
+        # Collect ready head packets per requested output.
+        requests: Dict[Optional[int], List[Tuple[Channel, int]]] = {}
+        for in_ch in self.inputs_of[u]:
+            qs = self.queues[in_ch]
+            for vc in range(self.num_vcs):
+                q = qs[vc]
+                if not q:
+                    continue
+                ready, pkt = q[0]
+                if ready > self.cycle:
+                    continue
+                if pkt.dst == u:
+                    requests.setdefault(None, []).append((in_ch, vc))
+                else:
+                    v = self.table.hop(u, pkt.src, pkt.dst)
+                    requests.setdefault(v, []).append((in_ch, vc))
+
+        for v, reqs in requests.items():
+            if v is None:
+                self._eject(u, reqs)
+                continue
+            out = (u, v)
+            if self.busy_until[out] > self.cycle:
+                continue
+            # round-robin among requestors, skipping those blocked downstream
+            start = self.rr[out] % len(reqs)
+            for k in range(len(reqs)):
+                in_ch, vc = reqs[(start + k) % len(reqs)]
+                _, pkt = self.queues[in_ch][vc][0]
+                if self.free_flits[out][pkt.vc] < pkt.size_flits:
+                    continue
+                self.queues[in_ch][vc].popleft()
+                self.free_flits[in_ch][vc] += pkt.size_flits
+                self.free_flits[out][pkt.vc] -= pkt.size_flits
+                done = self.cycle + pkt.size_flits
+                self.busy_until[out] = done
+                self.queues[out][pkt.vc].append((done + self.hop_delay, pkt))
+                self.rr[out] = (start + k + 1) % len(reqs)
+                break
+
+    def _eject(self, u: int, reqs: List[Tuple[Channel, int]]) -> None:
+        if self.ej_busy[u] > self.cycle:
+            return
+        start = self.ej_rr[u] % len(reqs)
+        in_ch, vc = reqs[start]
+        _, pkt = self.queues[in_ch][vc].popleft()
+        self.free_flits[in_ch][vc] += pkt.size_flits
+        self.ej_busy[u] = self.cycle + pkt.size_flits
+        self.ej_rr[u] = start + 1
+        self.in_flight -= 1
+        if self.measuring and pkt.birth_cycle >= self.measure_start:
+            self.ejected += 1
+            self.ejected_flits += pkt.size_flits
+            self.lat_sum += pkt.latency(self.cycle + pkt.size_flits)
+            self.lat_count += 1
+        self._on_eject(pkt)
+
+    def _on_eject(self, pkt: Packet) -> None:
+        """Hook for closed-loop extensions (full-system model)."""
+
+    # -- main loop ----------------------------------------------------------------
+    def step(self) -> None:
+        self._generate()
+        self._inject()
+        for u in range(self.n):
+            self._arbitrate_router(u)
+        self.cycle += 1
+
+    def run(self, warmup: int, measure: int) -> SimStats:
+        """Warm up, then measure for ``measure`` cycles."""
+        for _ in range(warmup):
+            self.step()
+        self.measuring = True
+        self.measure_start = self.cycle
+        for _ in range(measure):
+            self.step()
+        self.measuring = False
+        return SimStats(
+            cycles=measure,
+            offered_packets=self.offered,
+            ejected_packets=self.ejected,
+            ejected_flits=self.ejected_flits,
+            latency_sum=self.lat_sum,
+            latency_count=self.lat_count,
+            n_nodes=self.n,
+        )

@@ -1,0 +1,186 @@
+"""Injection-rate sweeps and saturation detection (Figs. 6, 10, 11).
+
+``latency_throughput_curve`` reproduces the paper's synthetic-traffic
+methodology: sweep the offered injection rate, record average packet
+latency and accepted throughput, and flag saturation (the "sudden latency
+degradation" of Fig. 6).  Throughput is reported in absolute
+packets/node/ns using each link class's clock (small 3.6 GHz, medium
+3.0 GHz, large 2.7 GHz) so classes are comparable, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..routing.tables import RoutingTable
+from ..topology.layout import CLASS_CLOCK_GHZ
+from .network import NetworkSimulator, SimStats
+from .traffic import TrafficPattern
+
+#: A run saturates when latency exceeds this multiple of zero-load latency
+#: or when the network stops accepting the offered load.
+SATURATION_LATENCY_FACTOR = 6.0
+ACCEPTANCE_FLOOR = 0.90
+
+
+@dataclass
+class SweepPoint:
+    """One (offered rate, latency, throughput) sample."""
+
+    offered_rate: float  # packets/node/cycle
+    avg_latency_cycles: float
+    throughput_packets_node_cycle: float
+    saturated: bool
+
+    def latency_ns(self, clock_ghz: float) -> float:
+        return self.avg_latency_cycles / clock_ghz
+
+    def throughput_packets_node_ns(self, clock_ghz: float) -> float:
+        return self.throughput_packets_node_cycle * clock_ghz
+
+
+@dataclass
+class SweepResult:
+    """A full latency-throughput curve for one routed topology."""
+
+    name: str
+    link_class: Optional[str]
+    points: List[SweepPoint] = field(default_factory=list)
+
+    @property
+    def clock_ghz(self) -> float:
+        return CLASS_CLOCK_GHZ.get(self.link_class or "", 1.0)
+
+    @property
+    def zero_load_latency_cycles(self) -> float:
+        return self.points[0].avg_latency_cycles if self.points else float("nan")
+
+    @property
+    def zero_load_latency_ns(self) -> float:
+        return self.zero_load_latency_cycles / self.clock_ghz
+
+    @property
+    def saturation_rate(self) -> float:
+        """Highest non-saturated offered rate, packets/node/cycle."""
+        ok = [p.offered_rate for p in self.points if not p.saturated]
+        return max(ok) if ok else 0.0
+
+    @property
+    def saturation_throughput_ns(self) -> float:
+        """Saturation throughput in packets/node/ns (Fig. 6's X axis)."""
+        ok = [p for p in self.points if not p.saturated]
+        if not ok:
+            return 0.0
+        return max(p.throughput_packets_node_ns(self.clock_ghz) for p in ok)
+
+    def series(self) -> tuple:
+        """(throughput_ns, latency_ns) arrays for plotting."""
+        x = np.array([p.throughput_packets_node_ns(self.clock_ghz) for p in self.points])
+        y = np.array([p.latency_ns(self.clock_ghz) for p in self.points])
+        return x, y
+
+
+def run_point(
+    table: RoutingTable,
+    traffic: TrafficPattern,
+    rate: float,
+    warmup: int = 500,
+    measure: int = 2000,
+    seed: int = 0,
+    **sim_kw,
+) -> SimStats:
+    sim = NetworkSimulator(table, traffic, rate, seed=seed, **sim_kw)
+    return sim.run(warmup, measure)
+
+
+def latency_throughput_curve(
+    table: RoutingTable,
+    traffic: TrafficPattern,
+    rates: Sequence[float],
+    name: Optional[str] = None,
+    link_class: Optional[str] = None,
+    warmup: int = 500,
+    measure: int = 2000,
+    seed: int = 0,
+    stop_after_saturation: bool = True,
+    **sim_kw,
+) -> SweepResult:
+    """Sweep offered injection rates and build the latency curve."""
+    result = SweepResult(
+        name=name or table.topology.name,
+        link_class=link_class or table.topology.link_class,
+    )
+    zero_load: Optional[float] = None
+    for rate in rates:
+        stats = run_point(
+            table, traffic, rate, warmup=warmup, measure=measure, seed=seed, **sim_kw
+        )
+        lat = stats.avg_latency_cycles
+        if zero_load is None and np.isfinite(lat):
+            zero_load = lat
+        accepted = stats.throughput_packets_node_cycle
+        offered = stats.offered_packets_node_cycle
+        saturated = bool(
+            not np.isfinite(lat)
+            or (zero_load is not None and lat > SATURATION_LATENCY_FACTOR * zero_load)
+            or (offered > 0 and accepted < ACCEPTANCE_FLOOR * offered)
+        )
+        result.points.append(
+            SweepPoint(
+                offered_rate=rate,
+                avg_latency_cycles=float(lat),
+                throughput_packets_node_cycle=accepted,
+                saturated=saturated,
+            )
+        )
+        if saturated and stop_after_saturation:
+            break
+    return result
+
+
+def find_saturation(
+    table: RoutingTable,
+    traffic: TrafficPattern,
+    lo: float = 0.01,
+    hi: float = 1.0,
+    iters: int = 6,
+    warmup: int = 400,
+    measure: int = 1200,
+    seed: int = 0,
+    **sim_kw,
+) -> float:
+    """Binary-search the saturation injection rate (packets/node/cycle).
+
+    Cheaper than a full sweep when only the saturation point is needed
+    (Fig. 11's throughput comparisons).
+    """
+    base = run_point(table, traffic, lo, warmup=warmup, measure=measure, seed=seed, **sim_kw)
+    zero_load = base.avg_latency_cycles
+    if not np.isfinite(zero_load):
+        return 0.0
+
+    def saturated(rate: float) -> bool:
+        st = run_point(
+            table, traffic, rate, warmup=warmup, measure=measure, seed=seed, **sim_kw
+        )
+        lat = st.avg_latency_cycles
+        return (
+            not np.isfinite(lat)
+            or lat > SATURATION_LATENCY_FACTOR * zero_load
+            or st.throughput_packets_node_cycle
+            < ACCEPTANCE_FLOOR * st.offered_packets_node_cycle
+        )
+
+    if not saturated(hi):
+        return hi
+    a, b = lo, hi
+    for _ in range(iters):
+        mid = 0.5 * (a + b)
+        if saturated(mid):
+            b = mid
+        else:
+            a = mid
+    return a

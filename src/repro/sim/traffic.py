@@ -1,0 +1,157 @@
+"""Synthetic traffic generators (Garnet Synthetic Traffic equivalents).
+
+Patterns used in the paper's evaluation:
+
+* **uniform random** ("coherence traffic", Fig. 6a): destinations uniform
+  over all other routers;
+* **memory traffic** (Fig. 6b): destinations uniform over the
+  memory-controller routers (outer columns) — the hot-spot pattern whose
+  "true contention" binds tighter than the sparsest cut;
+* **shuffle** (Fig. 10): ``dest = 2*src`` (low half) or
+  ``(2*src + 1) mod n`` (high half), the gem5 pattern NetSmith's ShufOpt
+  variant optimizes for.
+
+Control (1 flit) and data (9 flit) packets are injected with equal
+likelihood.  Generators draw from an explicit ``numpy`` RNG for
+reproducibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..topology import Layout
+from .packet import CONTROL_FLITS, DATA_FLITS
+
+
+@dataclass
+class TrafficPattern:
+    """A destination distribution plus the packet-size mix."""
+
+    name: str
+    n_nodes: int
+    dest_fn: Callable[[int, np.random.Generator], int]
+    data_fraction: float = 0.5
+
+    def destination(self, src: int, rng: np.random.Generator) -> int:
+        return self.dest_fn(src, rng)
+
+    def packet_size(self, rng: np.random.Generator) -> int:
+        return DATA_FLITS if rng.random() < self.data_fraction else CONTROL_FLITS
+
+    def demand_matrix(self) -> np.ndarray:
+        """Expected flow weights W[s,d] (rows sum to 1) for analysis."""
+        n = self.n_nodes
+        w = np.zeros((n, n))
+        probe = np.random.default_rng(12345)
+        samples = 400
+        for s in range(n):
+            for _ in range(samples):
+                w[s, self.dest_fn(s, probe)] += 1.0 / samples
+        return w
+
+
+def uniform_random(n_nodes: int) -> TrafficPattern:
+    """Uniform all-to-all (the paper's coherence traffic)."""
+
+    def dest(src: int, rng: np.random.Generator) -> int:
+        d = int(rng.integers(n_nodes - 1))
+        return d if d < src else d + 1
+
+    return TrafficPattern("uniform_random", n_nodes, dest)
+
+
+def memory_traffic(layout: Layout) -> TrafficPattern:
+    """All nodes to uniformly-chosen memory-controller routers (hot spot)."""
+    mcs = layout.mc_routers()
+    mcs_arr = np.array(mcs)
+
+    def dest(src: int, rng: np.random.Generator) -> int:
+        choices = mcs_arr[mcs_arr != src]
+        return int(choices[rng.integers(choices.size)])
+
+    return TrafficPattern("memory", layout.n, dest)
+
+
+def shuffle_pattern(n_nodes: int) -> TrafficPattern:
+    """gem5's shuffle permutation (paper Section V-E)."""
+
+    def dest(src: int, rng: np.random.Generator) -> int:
+        if src < n_nodes // 2:
+            d = 2 * src
+        else:
+            d = (2 * src + 1) % n_nodes
+        # permutation may map a node to itself only if n is degenerate
+        return d if d != src else (d + 1) % n_nodes
+
+    return TrafficPattern("shuffle", n_nodes, dest)
+
+
+def bit_complement(n_nodes: int) -> TrafficPattern:
+    """Garnet's bit-complement permutation: ``dest = n-1-src``."""
+
+    def dest(src: int, rng: np.random.Generator) -> int:
+        d = n_nodes - 1 - src
+        return d if d != src else (d + 1) % n_nodes
+
+    return TrafficPattern("bit_complement", n_nodes, dest)
+
+
+def transpose(layout: Layout) -> TrafficPattern:
+    """Matrix-transpose pattern: (x, y) -> (y, x), clipped to the grid.
+
+    On non-square grids out-of-range transposes wrap modulo the grid —
+    the standard generalization used by Garnet for rectangular meshes.
+    """
+    n = layout.n
+
+    def dest(src: int, rng: np.random.Generator) -> int:
+        x, y = layout.position(src)
+        d = layout.router_at(y % layout.cols, x % layout.rows)
+        return d if d != src else (d + 1) % n
+
+    return TrafficPattern("transpose", n, dest)
+
+
+def tornado(layout: Layout) -> TrafficPattern:
+    """Tornado: half-way around the row ring — the classic adversary for
+    ring-like topologies (stresses long horizontal paths)."""
+    n = layout.n
+
+    def dest(src: int, rng: np.random.Generator) -> int:
+        x, y = layout.position(src)
+        d = layout.router_at((x + layout.cols // 2) % layout.cols, y)
+        return d if d != src else (d + 1) % n
+
+    return TrafficPattern("tornado", n, dest)
+
+
+def neighbor(layout: Layout) -> TrafficPattern:
+    """Nearest-neighbor: east neighbor with wraparound (best case for
+    meshes; exposes topologies that sacrificed local links)."""
+    n = layout.n
+
+    def dest(src: int, rng: np.random.Generator) -> int:
+        x, y = layout.position(src)
+        return layout.router_at((x + 1) % layout.cols, y)
+
+    return TrafficPattern("neighbor", n, dest)
+
+
+def hotspot(n_nodes: int, hotspots: Sequence[int], hot_fraction: float = 0.5) -> TrafficPattern:
+    """Mixture: ``hot_fraction`` of traffic to the given hotspot routers,
+    the rest uniform (general-purpose stress pattern)."""
+    hot = np.array(sorted(hotspots))
+
+    def dest(src: int, rng: np.random.Generator) -> int:
+        if rng.random() < hot_fraction:
+            choices = hot[hot != src]
+            if choices.size:
+                return int(choices[rng.integers(choices.size)])
+        d = int(rng.integers(n_nodes - 1))
+        return d if d < src else d + 1
+
+    return TrafficPattern("hotspot", n_nodes, dest)

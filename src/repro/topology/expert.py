@@ -1,0 +1,281 @@
+"""Expert-designed NoI baseline topologies (paper Section II-A, Table II).
+
+Two construction modes coexist:
+
+* **Exact constructions** for topologies with unambiguous generative rules:
+  mesh and folded torus.
+* **Reconstructions** for Kite-Small/Medium/Large, Butter Donut and Double
+  Butterfly, whose publications specify them only by figure.  We provide
+  (a) deterministic pattern generators that scale to any grid (used for
+  the 48-router Fig. 11 study, where the paper also "logically extends the
+  design rules"), and (b) frozen edge lists in
+  :mod:`repro.topology.expert_data` found by signature search
+  (:mod:`repro.topology.reconstruct`) to match the published Table II
+  metric tuples (#links, diameter, avg hops, bisection BW) exactly.
+  ``expert_topology`` prefers the frozen lists when one exists for the
+  requested size.
+
+All expert topologies are symmetric (paper: only NetSmith/LPBT emit
+asymmetric links) and respect the radix-4 NoI port budget.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .graph import Topology
+from .layout import Layout, standard_layout
+
+RADIX = 4  # NoI network ports per router (Table II link counts imply this)
+
+
+# ---------------------------------------------------------------------------
+# Exact constructions
+# ---------------------------------------------------------------------------
+
+def mesh(layout: Layout) -> Topology:
+    """2D mesh on the router grid (the normalization baseline)."""
+    edges = []
+    for r in range(layout.n):
+        x, y = layout.position(r)
+        if x + 1 < layout.cols:
+            edges.append((r, layout.router_at(x + 1, y)))
+        if y + 1 < layout.rows:
+            edges.append((r, layout.router_at(x, y + 1)))
+    return Topology.from_undirected(layout, edges, name="Mesh", link_class="small")
+
+
+def _folded_ring(k: int) -> List[Tuple[int, int]]:
+    """Edges of a folded (interleaved) ring over positions 0..k-1.
+
+    The folding keeps every hop span <= 2 grid cells, which is what makes
+    a torus implementable within the *medium* link budget.
+    """
+    largest_odd = k - 1 if (k - 1) % 2 == 1 else k - 2
+    order = list(range(0, k, 2)) + list(range(largest_odd, 0, -2))
+    return [(order[i], order[(i + 1) % k]) for i in range(k)]
+
+
+def folded_torus(layout: Layout) -> Topology:
+    """Folded torus: folded rings along every row and every column."""
+    edges = []
+    for y in range(layout.rows):
+        for a, b in _folded_ring(layout.cols):
+            edges.append((layout.router_at(a, y), layout.router_at(b, y)))
+    for x in range(layout.cols):
+        for a, b in _folded_ring(layout.rows):
+            edges.append((layout.router_at(x, a), layout.router_at(x, b)))
+    return Topology.from_undirected(
+        layout, edges, name="FoldedTorus", link_class="medium"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Pattern generators (scalable reconstructions)
+# ---------------------------------------------------------------------------
+
+def double_butterfly(layout: Layout) -> Topology:
+    """Double Butterfly (Jerger et al., MICRO'14) pattern reconstruction.
+
+    Horizontal backbones in every row plus butterfly crossings between
+    adjacent row pairs spanning two columns ((2,1) links), with vertical
+    stitches joining the two butterflies in the outer columns.
+    """
+    edges = set()
+    for y in range(layout.rows):
+        for x in range(layout.cols - 1):
+            edges.add((layout.router_at(x, y), layout.router_at(x + 1, y)))
+    # butterfly crossings between row pairs (0,1), (2,3), ...
+    for y in range(0, layout.rows - 1, 2):
+        for x in range(layout.cols - 2):
+            edges.add((layout.router_at(x, y), layout.router_at(x + 2, y + 1)))
+            edges.add((layout.router_at(x, y + 1), layout.router_at(x + 2, y)))
+    # vertical stitches between butterfly pairs in the outer columns
+    for y in range(1, layout.rows - 1, 2):
+        for x in (0, layout.cols - 1):
+            edges.add((layout.router_at(x, y), layout.router_at(x, y + 1)))
+    t = Topology.from_undirected(
+        layout, sorted(edges), name="DoubleButterfly", link_class="large"
+    )
+    return _trim_to_radix(t, RADIX)
+
+
+def butter_donut(layout: Layout) -> Topology:
+    """Butter Donut (Kannan et al., MICRO'15) pattern reconstruction.
+
+    Butterfly crossings combined with folded-torus ("donut") wraps along
+    the rows, keeping every link within the large ((2,1)) budget.
+    """
+    edges = set()
+    # folded row rings give the donut wraps
+    for y in range(layout.rows):
+        for a, b in _folded_ring(layout.cols):
+            edges.add((layout.router_at(a, y), layout.router_at(b, y)))
+    # butterfly crossings between adjacent rows on alternating columns
+    for y in range(0, layout.rows - 1, 2):
+        for x in range(0, layout.cols - 2, 2):
+            edges.add((layout.router_at(x, y), layout.router_at(x + 2, y + 1)))
+            edges.add((layout.router_at(x, y + 1), layout.router_at(x + 2, y)))
+    # outer-column verticals for cross-row connectivity
+    for y in range(layout.rows - 1):
+        for x in (0, layout.cols - 1):
+            edges.add((layout.router_at(x, y), layout.router_at(x, y + 1)))
+    t = Topology.from_undirected(
+        layout, sorted(edges), name="ButterDonut", link_class="large"
+    )
+    return _trim_to_radix(t, RADIX)
+
+
+_KITE_CLASS_SPANS = {
+    "small": [(1, 0), (0, 1), (1, 1)],
+    "medium": [(1, 0), (0, 1), (1, 1), (2, 0), (0, 2)],
+    "large": [(1, 0), (0, 1), (1, 1), (2, 0), (0, 2), (2, 1), (1, 2)],
+}
+
+
+def kite(layout: Layout, size: str) -> Topology:
+    """Kite-family (Bharadwaj et al., DAC'20) pattern reconstruction.
+
+    Kite topologies were expert-tuned per link class; lacking machine-
+    readable artifacts we reconstruct them with a deterministic greedy
+    rule: starting from row backbones, repeatedly add the in-budget link
+    that most reduces total pair distance, preferring longer spans first
+    (the Kite signature), under the radix-4 port budget.
+    """
+    if size not in _KITE_CLASS_SPANS:
+        raise ValueError(f"kite size must be small/medium/large, got {size!r}")
+    import numpy as np
+
+    edges = set()
+    for y in range(layout.rows):
+        for x in range(layout.cols - 1):
+            edges.add((layout.router_at(x, y), layout.router_at(x + 1, y)))
+    # column-0 spine keeps the seed connected so the greedy's distance
+    # objective is finite from the first iteration
+    for y in range(layout.rows - 1):
+        edges.add((layout.router_at(0, y), layout.router_at(0, y + 1)))
+
+    allowed = set()
+    for dx, dy in _KITE_CLASS_SPANS[size]:
+        for y in range(layout.rows):
+            for x in range(layout.cols):
+                for sx, sy in ((dx, dy), (dx, -dy), (-dx, dy), (-dx, -dy)):
+                    nx, ny = x + sx, y + sy
+                    if 0 <= nx < layout.cols and 0 <= ny < layout.rows:
+                        a = layout.router_at(x, y)
+                        b = layout.router_at(nx, ny)
+                        if a < b:
+                            allowed.add((a, b))
+
+    def degrees(es):
+        deg = [0] * layout.n
+        for a, b in es:
+            deg[a] += 1
+            deg[b] += 1
+        return deg
+
+    def total_dist(es):
+        t = Topology.from_undirected(layout, es)
+        d = t.hop_matrix()
+        if not np.isfinite(d).all():
+            return float("inf")
+        return float(d.sum())
+
+    while True:
+        deg = degrees(edges)
+        base = total_dist(edges)
+        best_gain, best_edge = 0.0, None
+        candidates = sorted(
+            (e for e in allowed if e not in edges),
+            key=lambda e: -layout.length(*e),
+        )
+        for a, b in candidates:
+            if deg[a] >= RADIX or deg[b] >= RADIX:
+                continue
+            gain = base - total_dist(edges | {(a, b)})
+            # prefer longer links on ties: candidates are pre-sorted long-first
+            if gain > best_gain + 1e-9:
+                best_gain, best_edge = gain, (a, b)
+        if best_edge is None:
+            break
+        edges.add(best_edge)
+
+    return Topology.from_undirected(
+        layout, sorted(edges), name=f"Kite-{size.capitalize()}", link_class=size
+    )
+
+
+def _trim_to_radix(topo: Topology, radix: int) -> Topology:
+    """Drop the longest links at over-budget routers until radix holds."""
+    edges = {tuple(sorted(e)) for e in topo.directed_links}
+    while True:
+        t = Topology.from_undirected(topo.layout, sorted(edges), topo.name, topo.link_class)
+        over = [r for r in range(t.n) if t.out_degree(r) > radix]
+        if not over:
+            return t
+        r = over[0]
+        incident = sorted(
+            (e for e in edges if r in e),
+            key=lambda e: -topo.layout.length(*e),
+        )
+        for e in incident:
+            trial = edges - {e}
+            tt = Topology.from_undirected(topo.layout, sorted(trial))
+            if tt.is_connected():
+                edges = trial
+                break
+        else:  # pragma: no cover - degenerate
+            edges.discard(incident[0])
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+#: Expert topology families and their link classes.
+EXPERT_FAMILIES: Dict[str, str] = {
+    "Mesh": "small",
+    "Kite-Small": "small",
+    "FoldedTorus": "medium",
+    "Kite-Medium": "medium",
+    "ButterDonut": "large",
+    "DoubleButterfly": "large",
+    "Kite-Large": "large",
+}
+
+
+def expert_topology(name: str, n_routers: int = 20) -> Topology:
+    """Fetch an expert topology by its paper name, at a standard size.
+
+    Prefers signature-matched frozen edge lists
+    (:mod:`repro.topology.expert_data`) where available; falls back to the
+    scalable pattern generators.
+    """
+    from . import expert_data
+
+    layout = standard_layout(n_routers)
+    frozen = expert_data.lookup(name, n_routers)
+    if frozen is not None:
+        return Topology.from_undirected(
+            layout, frozen, name=name, link_class=EXPERT_FAMILIES[name]
+        )
+    if name == "Mesh":
+        return mesh(layout)
+    if name == "FoldedTorus":
+        return folded_torus(layout)
+    if name == "ButterDonut":
+        return butter_donut(layout)
+    if name == "DoubleButterfly":
+        return double_butterfly(layout)
+    if name.startswith("Kite-"):
+        return kite(layout, name.split("-", 1)[1].lower())
+    raise ValueError(f"unknown expert topology {name!r}")
+
+
+def experts_for_class(link_class: str, n_routers: int = 20) -> List[Topology]:
+    """All expert baselines in one link-length class (a Fig. 6 panel group)."""
+    return [
+        expert_topology(name, n_routers)
+        for name, cls in EXPERT_FAMILIES.items()
+        if cls == link_class and name != "Mesh"
+    ]

@@ -1,0 +1,129 @@
+"""Router layouts and the Kite link-length taxonomy.
+
+The paper places NoI routers on a regular grid (4x5 for the 20-router
+system, 6x5 for 30, 8x6 for 48) and constrains which router pairs may be
+linked by a maximum link length, using Kite's naming: a limit of ``(1,1)``
+links is *small*, ``(2,0)`` is *medium*, ``(2,1)`` is *large* (paper
+Fig. 3).  We interpret the limit Euclidean-geometrically: a link spanning
+``(dx, dy)`` grid cells is allowed iff ``hypot(dx, dy) <= hypot(*limit)``,
+which reproduces Kite's single-hop reach sets (e.g. medium allows
+``(2,0)`` and ``(0,2)`` but not ``(2,1)``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+#: Named link-length classes (paper Section III-A(b), Fig. 3).
+LINK_CLASSES: Dict[str, Tuple[int, int]] = {
+    "small": (1, 1),
+    "medium": (2, 0),
+    "large": (2, 1),
+}
+
+#: NoI clock frequency per link-length class, GHz (paper Section IV).
+CLASS_CLOCK_GHZ: Dict[str, float] = {
+    "small": 3.6,
+    "medium": 3.0,
+    "large": 2.7,
+}
+
+
+def class_max_length(cls: str) -> float:
+    """Euclidean reach of a named link class, in grid units."""
+    dx, dy = LINK_CLASSES[cls]
+    return math.hypot(dx, dy)
+
+
+@dataclass(frozen=True)
+class Layout:
+    """Physical placement of NoI routers on a grid.
+
+    Routers are labeled row-major: router ``r`` sits at
+    ``(col, row) = (r % cols, r // cols)``.  This matches the paper's 4x5
+    organization (4 rows of 5 columns, Fig. 2(b)): the left-most and
+    right-most columns host memory-controller concentrations, the middle
+    three columns host core concentrations.
+    """
+
+    rows: int
+    cols: int
+
+    @property
+    def n(self) -> int:
+        return self.rows * self.cols
+
+    def position(self, router: int) -> Tuple[int, int]:
+        """(x, y) grid coordinates of a router."""
+        if not 0 <= router < self.n:
+            raise IndexError(f"router {router} out of range [0, {self.n})")
+        return (router % self.cols, router // self.cols)
+
+    def router_at(self, x: int, y: int) -> int:
+        if not (0 <= x < self.cols and 0 <= y < self.rows):
+            raise IndexError(f"({x},{y}) outside {self.cols}x{self.rows} grid")
+        return y * self.cols + x
+
+    def span(self, i: int, j: int) -> Tuple[int, int]:
+        """Absolute (|dx|, |dy|) grid span between two routers."""
+        xi, yi = self.position(i)
+        xj, yj = self.position(j)
+        return (abs(xi - xj), abs(yi - yj))
+
+    def length(self, i: int, j: int) -> float:
+        dx, dy = self.span(i, j)
+        return math.hypot(dx, dy)
+
+    def valid_links(self, link_class: str) -> List[Tuple[int, int]]:
+        """All directed ``(i, j)`` pairs reachable within the class limit.
+
+        This is the paper's valid-link set ``L`` (constraint C3).
+        """
+        limit = class_max_length(link_class) + 1e-9
+        out = []
+        for i in range(self.n):
+            for j in range(self.n):
+                if i != j and self.length(i, j) <= limit:
+                    out.append((i, j))
+        return out
+
+    def link_class_of(self, i: int, j: int) -> str:
+        """Smallest named class that admits link ``(i, j)``."""
+        length = self.length(i, j)
+        for cls in ("small", "medium", "large"):
+            if length <= class_max_length(cls) + 1e-9:
+                return cls
+        raise ValueError(f"link ({i},{j}) longer than any named class")
+
+    def mc_columns(self) -> Tuple[int, int]:
+        """Columns whose routers host memory controllers (left, right)."""
+        return (0, self.cols - 1)
+
+    def mc_routers(self) -> List[int]:
+        """Routers with memory-controller concentration (outer columns)."""
+        left, right = self.mc_columns()
+        return [r for r in range(self.n) if r % self.cols in (left, right)]
+
+    def core_routers(self) -> List[int]:
+        """Routers with core-only concentration (middle columns)."""
+        mcs = set(self.mc_routers())
+        return [r for r in range(self.n) if r not in mcs]
+
+
+#: The paper's standard layouts.
+LAYOUT_4X5 = Layout(rows=4, cols=5)  # 20 routers (synthetic + full system)
+LAYOUT_6X5 = Layout(rows=6, cols=5)  # 30 routers (Table II lower half)
+LAYOUT_8X6 = Layout(rows=8, cols=6)  # 48 routers (Fig. 11)
+
+
+def standard_layout(n_routers: int) -> Layout:
+    """Layout for one of the paper's three studied sizes."""
+    table = {20: LAYOUT_4X5, 30: LAYOUT_6X5, 48: LAYOUT_8X6}
+    try:
+        return table[n_routers]
+    except KeyError:
+        raise ValueError(
+            f"no standard layout for {n_routers} routers; construct Layout directly"
+        ) from None

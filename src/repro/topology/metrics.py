@@ -1,0 +1,368 @@
+"""Topology performance metrics (paper Sections II-C/II-D, Table II).
+
+* **Average hops / diameter** — from the all-pairs hop matrix, excluding
+  self-pairs (Table II footnote).
+* **Bisection bandwidth** — minimum, over *balanced* bipartitions, of the
+  number of directed links crossing the cut; for asymmetric links the
+  minimum of the two directions is taken (paper III-A(e)).
+* **Sparsest cut** — the uniform-demand sparsest cut
+  ``min over (U,V)`` of ``cross(U,V) / (|U| * |V|)``, the tightest
+  cut-based throughput bound (Jyothi et al. [27]); exhaustively enumerated
+  with vectorized bitmask chunks for n <= 22, heuristic (spectral +
+  Kernighan–Lin refinement with restarts) above.
+
+Throughput bounds (paper II-D, Fig. 7):
+
+* **cut bound** — saturation injection rate (flits/node/cycle) implied by
+  the sparsest cut under uniform traffic;
+* **occupancy bound** — ``1 / avg_hops``-style bound implied by aggregate
+  link occupancy under shortest-path routing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from .graph import Topology
+
+_EXHAUSTIVE_LIMIT = 22
+_CHUNK = 1 << 12
+
+
+# ---------------------------------------------------------------------------
+# Hop statistics
+# ---------------------------------------------------------------------------
+
+def average_hops(topo: Topology) -> float:
+    """Mean shortest-path hops over all ordered pairs, excluding self-pairs."""
+    d = topo.hop_matrix()
+    n = topo.n
+    off = d[~np.eye(n, dtype=bool)]
+    if not np.isfinite(off).all():
+        return float("inf")
+    return float(off.mean())
+
+def diameter(topo: Topology) -> int:
+    d = topo.hop_matrix()
+    n = topo.n
+    off = d[~np.eye(n, dtype=bool)]
+    if not np.isfinite(off).all():
+        raise ValueError(f"{topo.name}: disconnected; diameter undefined")
+    return int(off.max())
+
+
+def hop_histogram(topo: Topology) -> Dict[int, int]:
+    """Count of ordered pairs at each hop distance (the latency distribution)."""
+    d = topo.hop_matrix()
+    n = topo.n
+    off = d[~np.eye(n, dtype=bool)].astype(int)
+    vals, counts = np.unique(off, return_counts=True)
+    return {int(v): int(c) for v, c in zip(vals, counts)}
+
+
+# ---------------------------------------------------------------------------
+# Cut enumeration machinery
+# ---------------------------------------------------------------------------
+
+def _cut_scan(
+    adj: np.ndarray,
+    balanced_only: bool,
+) -> Tuple[float, np.ndarray, float, np.ndarray]:
+    """Vectorized exhaustive scan over all bipartitions with node 0 in U.
+
+    Returns ``(best_sparsest_value, best_sparsest_mask,
+    best_balanced_cross, best_balanced_mask)``; sparsest values are
+    ``min_dir_cross / (|U| |V|)``.
+    """
+    n = adj.shape[0]
+    a = adj.astype(np.float64)
+    total_masks = 1 << (n - 1)
+    bit_idx = np.arange(1, n)
+
+    best_sparse = np.inf
+    best_sparse_mask = None
+    best_bal = np.inf
+    best_bal_mask = None
+    half = n // 2
+
+    for start in range(0, total_masks, _CHUNK):
+        masks = np.arange(start, min(start + _CHUNK, total_masks), dtype=np.int64)
+        # membership[i, k] = node k in U for mask i; node 0 always in U.
+        memb = np.zeros((masks.size, n), dtype=np.float64)
+        memb[:, 0] = 1.0
+        memb[:, 1:] = (masks[:, None] >> (bit_idx - 1)[None, :]) & 1
+        sizes_u = memb.sum(axis=1)
+        sizes_v = n - sizes_u
+        valid = sizes_v > 0
+        if not valid.any():
+            continue
+        # cross U->V = sum_{i in U, j in V} adj[i, j]
+        from_u = memb @ a  # [mask, node] = # links from U into each node
+        cross_uv = (from_u * (1.0 - memb)).sum(axis=1)
+        to_u = memb @ a.T
+        cross_vu = (to_u * (1.0 - memb)).sum(axis=1)
+        cross = np.minimum(cross_uv, cross_vu)
+
+        with np.errstate(divide="ignore", invalid="ignore"):
+            sparse_vals = np.where(valid, cross / (sizes_u * sizes_v), np.inf)
+        k = int(np.argmin(sparse_vals))
+        if sparse_vals[k] < best_sparse:
+            best_sparse = float(sparse_vals[k])
+            best_sparse_mask = memb[k].astype(bool)
+
+        bal = valid & (sizes_u == half)
+        if bal.any():
+            bal_cross = np.where(bal, cross, np.inf)
+            k = int(np.argmin(bal_cross))
+            if bal_cross[k] < best_bal:
+                best_bal = float(bal_cross[k])
+                best_bal_mask = memb[k].astype(bool)
+
+    return best_sparse, best_sparse_mask, best_bal, best_bal_mask
+
+
+def _kl_refine(
+    adj: np.ndarray, memb: np.ndarray, objective: str, rng: np.random.Generator
+) -> Tuple[float, np.ndarray]:
+    """Greedy single-move refinement of a bipartition.
+
+    ``objective`` is ``"sparsest"`` (minimize cross/(|U||V|), any sizes) or
+    ``"bisection"`` (minimize cross, sizes locked).
+    """
+    n = adj.shape[0]
+    memb = memb.copy()
+
+    def value(m: np.ndarray) -> float:
+        su = int(m.sum())
+        if su == 0 or su == n:
+            return np.inf
+        cross_uv = adj[m][:, ~m].sum()
+        cross_vu = adj[~m][:, m].sum()
+        c = min(cross_uv, cross_vu)
+        if objective == "sparsest":
+            return c / (su * (n - su))
+        return float(c)
+
+    best = value(memb)
+    improved = True
+    while improved:
+        improved = False
+        order = rng.permutation(n)
+        if objective == "bisection":
+            # swap pairs to preserve balance
+            us = [i for i in order if memb[i]]
+            vs = [i for i in order if not memb[i]]
+            for i in us:
+                for j in vs:
+                    memb[i], memb[j] = False, True
+                    v = value(memb)
+                    if v < best - 1e-12:
+                        best = v
+                        improved = True
+                        break
+                    memb[i], memb[j] = True, False
+                if improved:
+                    break
+        else:
+            for i in order:
+                memb[i] = not memb[i]
+                v = value(memb)
+                if v < best - 1e-12:
+                    best = v
+                    improved = True
+                else:
+                    memb[i] = not memb[i]
+    return best, memb
+
+
+def _heuristic_cut(
+    adj: np.ndarray, objective: str, restarts: int, seed: int
+) -> Tuple[float, np.ndarray]:
+    """Spectral seed + KL refinement with random restarts (n > 22 fallback)."""
+    n = adj.shape[0]
+    rng = np.random.default_rng(seed)
+    sym = ((adj + adj.T) > 0).astype(np.float64)
+    deg = sym.sum(axis=1)
+    lap = np.diag(deg) - sym
+    _, vecs = np.linalg.eigh(lap)
+    fiedler = vecs[:, 1]
+
+    seeds = []
+    if objective == "bisection":
+        order = np.argsort(fiedler)
+        m = np.zeros(n, dtype=bool)
+        m[order[: n // 2]] = True
+        seeds.append(m)
+        for _ in range(restarts):
+            m = np.zeros(n, dtype=bool)
+            m[rng.permutation(n)[: n // 2]] = True
+            seeds.append(m)
+    else:
+        for thresh in np.quantile(fiedler, [0.25, 0.5, 0.75]):
+            seeds.append(fiedler <= thresh)
+        for _ in range(restarts):
+            size = int(rng.integers(1, n))
+            m = np.zeros(n, dtype=bool)
+            m[rng.permutation(n)[:size]] = True
+            seeds.append(m)
+
+    best, best_m = np.inf, None
+    for m in seeds:
+        if m.all() or not m.any():
+            continue
+        v, refined = _kl_refine(adj, m, objective, rng)
+        if v < best:
+            best, best_m = v, refined
+    return best, best_m
+
+
+# ---------------------------------------------------------------------------
+# Public cut metrics
+# ---------------------------------------------------------------------------
+
+@dataclass
+class CutResult:
+    """A cut and its value; ``members`` flags the U-side of the partition."""
+
+    value: float
+    members: np.ndarray
+    exact: bool
+
+    @property
+    def partition(self) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+        u = tuple(int(i) for i in np.nonzero(self.members)[0])
+        v = tuple(int(i) for i in np.nonzero(~self.members)[0])
+        return u, v
+
+
+def sparsest_cut(
+    topo: Topology, exact: Optional[bool] = None, restarts: int = 32, seed: int = 0
+) -> CutResult:
+    """Uniform-demand sparsest cut ``min cross(U,V)/(|U||V|)``."""
+    n = topo.n
+    if exact is None:
+        exact = n <= _EXHAUSTIVE_LIMIT
+    if exact:
+        if n > _EXHAUSTIVE_LIMIT + 4:
+            raise ValueError(f"exhaustive cut scan infeasible for n={n}")
+        val, memb, _, _ = _cut_scan(topo.adj, balanced_only=False)
+        return CutResult(val, memb, True)
+    val, memb = _heuristic_cut(topo.adj, "sparsest", restarts, seed)
+    return CutResult(val, memb, False)
+
+
+def bisection_bandwidth(
+    topo: Topology, exact: Optional[bool] = None, restarts: int = 32, seed: int = 0
+) -> int:
+    """Minimum directed links crossing any balanced bipartition.
+
+    Matches Table II's 'Bi. BW' column (reported instead of sparsest cut
+    for comparability with prior work).  Requires even n.
+    """
+    n = topo.n
+    if n % 2:
+        raise ValueError("bisection undefined for odd router counts")
+    if exact is None:
+        exact = n <= _EXHAUSTIVE_LIMIT
+    if exact:
+        _, _, val, _ = _cut_scan(topo.adj, balanced_only=True)
+    else:
+        val, _ = _heuristic_cut(topo.adj, "bisection", restarts, seed)
+    return int(round(val))
+
+
+# ---------------------------------------------------------------------------
+# Throughput bounds (paper II-D / Fig. 7 solid lines)
+# ---------------------------------------------------------------------------
+
+def cut_throughput_bound(topo: Topology, **kw) -> float:
+    """Saturation injection bound from the sparsest cut, flits/node/cycle.
+
+    Under uniform all-to-all traffic at per-node injection rate ``x``,
+    each of a node's ``n-1`` flows carries ``x/(n-1)``; the demand
+    crossing a cut (U, V) is ``x * |U| * |V| / (n-1)`` against capacity
+    ``cross(U, V)`` flits/cycle.  The bound is the minimum over cuts:
+    ``x_max = (n-1) * sparsest_cut_value``.
+    """
+    return (topo.n - 1) * sparsest_cut(topo, **kw).value
+
+
+def occupancy_throughput_bound(topo: Topology) -> float:
+    """Link-occupancy saturation bound, flits/node/cycle.
+
+    Every packet occupies ``avg_hops`` links on average under shortest-path
+    routing; aggregate link capacity is ``num_directed_links`` flits/cycle,
+    so per-node injection saturates at ``links / (n * avg_hops)``.  When
+    channel loads are perfectly balanced this coincides with the routed
+    max-channel-load bound ``(n-1) / max_load``.
+    """
+    h = average_hops(topo)
+    return topo.num_directed_links / (topo.n * h)
+
+
+def saturation_bound(topo: Topology, **kw) -> float:
+    """The tighter of the cut and occupancy bounds (flits/node/cycle)."""
+    return min(cut_throughput_bound(topo, **kw), occupancy_throughput_bound(topo))
+
+
+# ---------------------------------------------------------------------------
+# Link-length accounting (paper III-B and Fig. 9 wire analysis)
+# ---------------------------------------------------------------------------
+
+def link_length_histogram(topo: Topology) -> Dict[Tuple[int, int], int]:
+    """Count of full-duplex link resources by (|dx|, |dy|) span.
+
+    Asymmetric halves are paired arbitrarily for counting purposes; the
+    histogram counts directed links / 2 per span bucket, so mixed-span
+    pairings report half-integer totals rounded toward the longer span.
+    """
+    spans: Dict[Tuple[int, int], int] = {}
+    for i, j in topo.directed_links:
+        dx, dy = topo.layout.span(i, j)
+        key = (max(dx, dy), min(dx, dy)) if dx < dy else (dx, dy)
+        spans[key] = spans.get(key, 0) + 1
+    return {k: v // 2 + (v % 2) for k, v in sorted(spans.items())}
+
+
+def total_wire_length(topo: Topology) -> float:
+    """Aggregate directed wire length in grid units (drives dynamic power)."""
+    return float(
+        sum(topo.layout.length(i, j) for i, j in topo.directed_links)
+    )
+
+
+@dataclass
+class TopologyMetrics:
+    """The Table II row for one topology."""
+
+    name: str
+    num_links: int
+    diameter: int
+    avg_hops: float
+    bisection_bw: int
+    sparsest_cut_value: float
+
+    def as_row(self) -> Tuple:
+        return (
+            self.name,
+            self.num_links,
+            self.diameter,
+            round(self.avg_hops, 2),
+            self.bisection_bw,
+            round(self.sparsest_cut_value, 4),
+        )
+
+
+def summarize(topo: Topology, **cut_kw) -> TopologyMetrics:
+    """Compute the full Table II metric row for a topology."""
+    return TopologyMetrics(
+        name=topo.name,
+        num_links=topo.num_links,
+        diameter=diameter(topo),
+        avg_hops=average_hops(topo),
+        bisection_bw=bisection_bandwidth(topo, **cut_kw),
+        sparsest_cut_value=sparsest_cut(topo, **cut_kw).value,
+    )

@@ -1,0 +1,274 @@
+"""Signature-matching topology reconstruction by simulated annealing.
+
+The expert topologies the paper compares against (Kite family, Butter
+Donut, Double Butterfly) are published as figures, not edge lists.  What
+*is* published is their metric signature — Table II's (#links, diameter,
+average hops, bisection bandwidth).  This module searches the space of
+valid symmetric topologies for one matching a requested signature, so the
+frozen baselines in :mod:`repro.topology.expert_data` have exactly the
+published properties and every downstream comparison is faithful.
+
+The same machinery doubles as a general-purpose heuristic topology
+optimizer (``anneal`` with a custom objective), used to cross-check MILP
+results and to seed incumbents.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .graph import Topology
+from .layout import Layout
+from .metrics import average_hops, bisection_bandwidth, diameter
+
+
+@dataclass
+class Signature:
+    """Published metric tuple to match (Table II row)."""
+
+    num_links: int
+    diameter: int
+    avg_hops: float
+    bisection_bw: int
+
+
+def _random_valid_topology(
+    layout: Layout,
+    allowed: Sequence[Tuple[int, int]],
+    num_links: int,
+    radix: int,
+    rng: np.random.Generator,
+) -> List[Tuple[int, int]]:
+    """A random connected symmetric edge set within the radix budget.
+
+    Best-effort on the link count: near-saturated budgets (e.g. 38 of the
+    40 possible radix-4 edges) may come up short; the annealer's
+    link-count cost term closes the residual gap.
+    """
+    allowed = sorted({tuple(sorted(e)) for e in allowed if e[0] != e[1]})
+    # Hamiltonian snake through the grid guarantees connectivity with unit
+    # links (always in every allowed set) and degree <= 2.
+    snake = []
+    for y in range(layout.rows):
+        xs = range(layout.cols) if y % 2 == 0 else range(layout.cols - 1, -1, -1)
+        snake.extend(layout.router_at(x, y) for x in xs)
+    edges = {tuple(sorted((snake[k], snake[k + 1]))) for k in range(len(snake) - 1)}
+    deg = np.zeros(layout.n, dtype=int)
+    for a, b in edges:
+        deg[a] += 1
+        deg[b] += 1
+    pool = [e for e in allowed if e not in edges]
+    rng.shuffle(pool)
+    for a, b in pool:
+        if len(edges) >= num_links:
+            break
+        if deg[a] < radix and deg[b] < radix:
+            edges.add((a, b))
+            deg[a] += 1
+            deg[b] += 1
+    return sorted(edges)
+
+
+def _balanced_cut_samples(n: int, layout: Layout, count: int, seed: int) -> np.ndarray:
+    """Candidate balanced bipartition masks for fast bisection estimation.
+
+    Includes the geometric row/column splits (the usual true bisections on
+    grid layouts) plus random balanced masks; the estimator
+    ``min over samples`` upper-bounds the true bisection, which is enough
+    gradient for annealing — exact verification happens at acceptance.
+    """
+    rng = np.random.default_rng(seed)
+    masks = []
+    memb = np.zeros(n, dtype=bool)
+    for r in range(n):
+        _, y = layout.position(r)
+        memb[r] = y < layout.rows // 2
+    masks.append(memb.copy())
+    if layout.cols % 2 == 0:
+        memb = np.zeros(n, dtype=bool)
+        for r in range(n):
+            x, _ = layout.position(r)
+            memb[r] = x < layout.cols // 2
+        masks.append(memb.copy())
+    for _ in range(count):
+        m = np.zeros(n, dtype=bool)
+        m[rng.permutation(n)[: n // 2]] = True
+        masks.append(m)
+    return np.array(masks)
+
+
+def _estimate_bisection(adj: np.ndarray, masks: np.ndarray) -> int:
+    """min-direction crossing links over the sampled balanced cuts."""
+    a = adj.astype(np.float64)
+    memb = masks.astype(np.float64)
+    cross_uv = ((memb @ a) * (1.0 - memb)).sum(axis=1)
+    cross_vu = ((memb @ a.T) * (1.0 - memb)).sum(axis=1)
+    return int(np.minimum(cross_uv, cross_vu).min())
+
+
+def _signature_cost(
+    topo: Topology,
+    sig: Signature,
+    bisection_masks: Optional[np.ndarray],
+) -> float:
+    """Distance of a topology's metrics from the target signature."""
+    h = average_hops(topo)
+    if not math.isfinite(h):
+        return 1e9
+    cost = abs(h - sig.avg_hops) * 100.0
+    cost += abs(diameter(topo) - sig.diameter) * 10.0
+    if bisection_masks is not None:
+        est = _estimate_bisection(topo.adj, bisection_masks)
+        cost += abs(est - sig.bisection_bw) * 10.0
+    return cost
+
+
+def anneal(
+    layout: Layout,
+    allowed: Sequence[Tuple[int, int]],
+    num_links: int,
+    radix: int,
+    cost_fn: Callable[[Topology], float],
+    steps: int = 4000,
+    seed: int = 0,
+    t0: float = 2.0,
+    t1: float = 0.01,
+    initial: Optional[Sequence[Tuple[int, int]]] = None,
+) -> Tuple[List[Tuple[int, int]], float]:
+    """Simulated annealing over symmetric edge sets of fixed cardinality.
+
+    Moves are edge swaps, additions, and removals under the radix budget;
+    deviation from ``num_links`` is charged into the cost (weight
+    ``link_count_weight``), which handles near-saturated budgets where a
+    fixed-cardinality move set would wedge.  Returns the best edge list
+    and its cost (excluding the link-count term when it is zero).
+    """
+    link_count_weight = 50.0
+    rng = np.random.default_rng(seed)
+    allowed_set = sorted({tuple(sorted(e)) for e in allowed if e[0] != e[1]})
+    if initial is not None:
+        edges = sorted({tuple(sorted(e)) for e in initial})
+    else:
+        edges = _random_valid_topology(layout, allowed_set, num_links, radix, rng)
+
+    def degrees(es):
+        deg = np.zeros(layout.n, dtype=int)
+        for a, b in es:
+            deg[a] += 1
+            deg[b] += 1
+        return deg
+
+    def full_cost(es) -> float:
+        t = Topology.from_undirected(layout, es)
+        return cost_fn(t) + link_count_weight * abs(len(es) - num_links)
+
+    cur = list(edges)
+    cur_cost = full_cost(cur)
+    best, best_cost = list(cur), cur_cost
+
+    for step in range(steps):
+        temp = t0 * (t1 / t0) ** (step / max(steps - 1, 1))
+        deg = degrees(cur)
+        cur_set = set(cur)
+        move = rng.random()
+        trial = None
+        if move < 0.70 and cur:  # swap
+            out_idx = int(rng.integers(len(cur)))
+            removed = cur[out_idx]
+            deg2 = deg.copy()
+            deg2[removed[0]] -= 1
+            deg2[removed[1]] -= 1
+            candidates = [
+                e
+                for e in allowed_set
+                if e not in cur_set
+                and e != removed
+                and deg2[e[0]] < radix
+                and deg2[e[1]] < radix
+            ]
+            if candidates:
+                added = candidates[int(rng.integers(len(candidates)))]
+                trial = cur[:out_idx] + cur[out_idx + 1 :] + [added]
+        elif move < 0.85:  # add
+            candidates = [
+                e
+                for e in allowed_set
+                if e not in cur_set and deg[e[0]] < radix and deg[e[1]] < radix
+            ]
+            if candidates:
+                trial = cur + [candidates[int(rng.integers(len(candidates)))]]
+        elif cur:  # remove
+            out_idx = int(rng.integers(len(cur)))
+            trial = cur[:out_idx] + cur[out_idx + 1 :]
+        if trial is None:
+            continue
+        t = Topology.from_undirected(layout, trial)
+        if not t.is_connected():
+            continue
+        c = cost_fn(t) + link_count_weight * abs(len(trial) - num_links)
+        if c < cur_cost or rng.random() < math.exp(-(c - cur_cost) / max(temp, 1e-9)):
+            cur, cur_cost = trial, c
+            if c < best_cost:
+                best, best_cost = list(trial), c
+                if best_cost <= 1e-9:
+                    break
+    return sorted(best), best_cost
+
+
+def reconstruct(
+    layout: Layout,
+    link_class: str,
+    sig: Signature,
+    radix: int = 4,
+    steps: int = 6000,
+    seed: int = 0,
+    restarts: int = 4,
+    initial: Optional[Sequence[Tuple[int, int]]] = None,
+    exact_bisection: Optional[bool] = None,
+) -> Tuple[List[Tuple[int, int]], float]:
+    """Search for a topology matching a published metric signature.
+
+    Returns the best edge list found and its residual cost (0.0 means an
+    exact signature match).
+    """
+    allowed = layout.valid_links(link_class)
+    masks = _balanced_cut_samples(layout.n, layout, count=256, seed=seed)
+
+    def cost(t: Topology) -> float:
+        return _signature_cost(t, sig, masks)
+
+    def verified_cost(edges: Sequence[Tuple[int, int]]) -> float:
+        """Residual with the *exact* bisection (sampled one is an upper
+        bound, so re-check candidates that look like matches)."""
+        t = Topology.from_undirected(layout, edges)
+        h = average_hops(t)
+        resid = abs(h - sig.avg_hops) * 100.0
+        resid += abs(diameter(t) - sig.diameter) * 10.0
+        resid += abs(len(list(edges)) - sig.num_links) * 50.0
+        use_exact = exact_bisection if exact_bisection is not None else layout.n <= 22
+        resid += abs(bisection_bandwidth(t, exact=use_exact) - sig.bisection_bw) * 10.0
+        return resid
+
+    best_edges, best_cost = None, float("inf")
+    for r in range(restarts):
+        edges, _ = anneal(
+            layout,
+            allowed,
+            sig.num_links,
+            radix,
+            cost,
+            steps=steps,
+            seed=seed + 1000 * r,
+            initial=initial if r == 0 else None,
+        )
+        c = verified_cost(edges)
+        if c < best_cost:
+            best_edges, best_cost = edges, c
+        if best_cost <= 1e-9:
+            break
+    assert best_edges is not None
+    return best_edges, best_cost

@@ -1,0 +1,113 @@
+"""Tests for the CLI, fractional multipath MCLB, and LP export."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.core import mclb_route, mclb_route_multipath
+from repro.milp import MAXIMIZE, Model, quicksum
+from repro.topology import LAYOUT_4X5, Layout, Topology, folded_torus, save
+
+
+class TestMultipathMCLB:
+    def test_fractional_lower_bounds_integral(self):
+        ft = folded_torus(LAYOUT_4X5)
+        frac = mclb_route_multipath(ft, time_limit=60)
+        integral = mclb_route(ft, time_limit=60)
+        assert frac.max_channel_load <= integral.max_channel_load + 1e-6
+
+    def test_shares_sum_to_one(self):
+        ft = folded_torus(LAYOUT_4X5)
+        frac = mclb_route_multipath(ft, time_limit=60)
+        by_flow = {}
+        for (sd, p), w in frac.weights.items():
+            by_flow[sd] = by_flow.get(sd, 0.0) + w
+        for sd, total in by_flow.items():
+            assert total == pytest.approx(1.0, abs=1e-4), sd
+
+    def test_channel_loads_match_objective(self):
+        ft = folded_torus(LAYOUT_4X5)
+        frac = mclb_route_multipath(ft, time_limit=60)
+        loads = frac.channel_loads()
+        assert max(loads.values()) == pytest.approx(
+            frac.max_channel_load, abs=1e-5
+        )
+
+    def test_flow_paths_accessor(self):
+        ft = folded_torus(LAYOUT_4X5)
+        frac = mclb_route_multipath(ft, time_limit=60)
+        fp = frac.flow_paths(0, 7)
+        assert fp
+        assert all(p[0] == 0 and p[-1] == 7 for p, _ in fp)
+
+
+class TestLPExport:
+    def test_lp_string_structure(self):
+        m = Model("demo", sense=MAXIMIZE)
+        x = m.add_binary("x")
+        y = m.add_integer("y", ub=5)
+        m.add_constr(x + 2 * y <= 7, name="cap")
+        m.set_objective(3 * x + y)
+        text = m.to_lp_string()
+        assert "Maximize" in text
+        assert "cap:" in text
+        assert "Binaries" in text and "Generals" in text
+        assert "End" in text
+
+    def test_write_lp(self, tmp_path):
+        m = Model("demo")
+        x = m.add_var("x", ub=1)
+        m.set_objective(x)
+        p = tmp_path / "model.lp"
+        m.write_lp(str(p))
+        assert p.read_text().startswith("\\ demo")
+
+
+class TestCLI:
+    def test_evaluate_expert(self, capsys):
+        assert main(["evaluate", "FoldedTorus"]) == 0
+        out = capsys.readouterr().out
+        assert "avg hops" in out and "2.31" in out
+
+    def test_evaluate_json_file(self, tmp_path, capsys):
+        t = Topology.from_undirected(
+            Layout(rows=1, cols=4), [(0, 1), (1, 2), (2, 3), (0, 3)], name="ringy"
+        )
+        p = tmp_path / "t.json"
+        save(t, str(p))
+        assert main(["evaluate", str(p), "--routers", "4"]) == 0
+        assert "ringy" in capsys.readouterr().out
+
+    def test_evaluate_unknown_topology(self):
+        with pytest.raises(SystemExit):
+            main(["evaluate", "Hypercube"])
+
+    def test_generate_sa_and_save(self, tmp_path, capsys):
+        out = tmp_path / "gen.json"
+        rc = main([
+            "generate", "--rows", "2", "--cols", "3", "--radix", "3",
+            "--objective", "sa", "--sa-steps", "300", "--out", str(out),
+        ])
+        assert rc == 0
+        data = json.loads(out.read_text())
+        assert data["rows"] == 2 and data["cols"] == 3
+
+    def test_route_command(self, capsys):
+        assert main(["route", "FoldedTorus", "--policy", "ndbt"]) == 0
+        out = capsys.readouterr().out
+        assert "max_load" in out and "vcs=" in out
+
+    def test_simulate_command(self, capsys):
+        rc = main([
+            "simulate", "FoldedTorus", "--points", "2", "--max-rate", "0.08",
+            "--warmup", "100", "--measure", "300",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "saturation throughput" in out
+
+    def test_ns_spec(self, capsys):
+        assert main(["evaluate", "ns:latop:medium"]) == 0
+        assert "avg hops" in capsys.readouterr().out

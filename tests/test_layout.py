@@ -1,0 +1,136 @@
+"""Unit tests for router layouts and the link-length taxonomy."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology import (
+    LAYOUT_4X5,
+    LAYOUT_6X5,
+    LAYOUT_8X6,
+    LINK_CLASSES,
+    Layout,
+    class_max_length,
+    standard_layout,
+)
+
+
+class TestLayoutBasics:
+    def test_standard_sizes(self):
+        assert LAYOUT_4X5.n == 20
+        assert LAYOUT_6X5.n == 30
+        assert LAYOUT_8X6.n == 48
+
+    def test_row_major_positions(self):
+        lay = LAYOUT_4X5
+        assert lay.position(0) == (0, 0)
+        assert lay.position(4) == (4, 0)
+        assert lay.position(5) == (0, 1)
+        assert lay.position(19) == (4, 3)
+
+    def test_router_at_roundtrip(self):
+        lay = LAYOUT_6X5
+        for r in range(lay.n):
+            x, y = lay.position(r)
+            assert lay.router_at(x, y) == r
+
+    def test_position_out_of_range(self):
+        with pytest.raises(IndexError):
+            LAYOUT_4X5.position(20)
+        with pytest.raises(IndexError):
+            LAYOUT_4X5.position(-1)
+
+    def test_router_at_out_of_range(self):
+        with pytest.raises(IndexError):
+            LAYOUT_4X5.router_at(5, 0)
+
+    def test_span_symmetric(self):
+        lay = LAYOUT_4X5
+        assert lay.span(0, 6) == lay.span(6, 0) == (1, 1)
+
+    def test_length_euclidean(self):
+        lay = LAYOUT_4X5
+        assert lay.length(0, 2) == pytest.approx(2.0)
+        assert lay.length(0, 6) == pytest.approx(math.sqrt(2))
+
+    def test_standard_layout_lookup(self):
+        assert standard_layout(20) is LAYOUT_4X5
+        with pytest.raises(ValueError):
+            standard_layout(21)
+
+
+class TestLinkClasses:
+    def test_class_lengths_ordered(self):
+        assert (
+            class_max_length("small")
+            < class_max_length("medium")
+            < class_max_length("large")
+        )
+
+    def test_small_excludes_two_hop(self):
+        links = set(LAYOUT_4X5.valid_links("small"))
+        assert (0, 1) in links and (0, 6) in links
+        assert (0, 2) not in links
+
+    def test_medium_includes_20_and_02(self):
+        links = set(LAYOUT_4X5.valid_links("medium"))
+        assert (0, 2) in links  # (2,0) span
+        assert (0, 10) in links  # (0,2) span
+        assert (0, 7) not in links  # (2,1) span
+
+    def test_large_includes_21(self):
+        links = set(LAYOUT_4X5.valid_links("large"))
+        assert (0, 7) in links  # (2,1)
+        assert (0, 11) in links  # (1,2)
+        assert (0, 3) not in links  # (3,0)
+
+    def test_valid_links_are_directed_pairs(self):
+        links = LAYOUT_4X5.valid_links("small")
+        assert all((j, i) in set(links) for i, j in links)
+        assert all(i != j for i, j in links)
+
+    def test_counts_monotone_in_class(self):
+        for lay in (LAYOUT_4X5, LAYOUT_6X5):
+            s = len(lay.valid_links("small"))
+            m = len(lay.valid_links("medium"))
+            l = len(lay.valid_links("large"))
+            assert s < m < l
+
+    def test_link_class_of(self):
+        lay = LAYOUT_4X5
+        assert lay.link_class_of(0, 1) == "small"
+        assert lay.link_class_of(0, 2) == "medium"
+        assert lay.link_class_of(0, 7) == "large"
+        with pytest.raises(ValueError):
+            lay.link_class_of(0, 3)
+
+
+class TestConcentration:
+    def test_mc_routers_outer_columns(self):
+        mcs = LAYOUT_4X5.mc_routers()
+        assert len(mcs) == 8
+        assert all(r % 5 in (0, 4) for r in mcs)
+
+    def test_core_routers_complement(self):
+        lay = LAYOUT_4X5
+        assert sorted(lay.mc_routers() + lay.core_routers()) == list(range(20))
+
+
+@settings(max_examples=40, deadline=None)
+@given(rows=st.integers(2, 8), cols=st.integers(2, 8))
+def test_property_valid_links_within_length(rows, cols):
+    lay = Layout(rows=rows, cols=cols)
+    for cls, limit in LINK_CLASSES.items():
+        maxlen = math.hypot(*limit) + 1e-9
+        for i, j in lay.valid_links(cls):
+            assert lay.length(i, j) <= maxlen
+
+
+@settings(max_examples=30, deadline=None)
+@given(rows=st.integers(2, 6), cols=st.integers(2, 6))
+def test_property_position_bijective(rows, cols):
+    lay = Layout(rows=rows, cols=cols)
+    seen = {lay.position(r) for r in range(lay.n)}
+    assert len(seen) == lay.n

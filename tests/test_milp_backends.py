@@ -1,0 +1,106 @@
+"""Backend agreement and branch-and-bound progress behaviour."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.milp import MAXIMIZE, OPTIMAL, Model, quicksum
+
+
+def _random_milp(seed: int, n_vars: int = 4, n_cons: int = 4) -> Model:
+    rng = np.random.default_rng(seed)
+    m = Model(f"rand{seed}")
+    xs = []
+    for i in range(n_vars):
+        if rng.random() < 0.5:
+            xs.append(m.add_binary(f"b{i}"))
+        else:
+            xs.append(m.add_integer(f"i{i}", ub=int(rng.integers(2, 8))))
+    for _ in range(n_cons):
+        coefs = rng.integers(-3, 4, size=n_vars)
+        rhs = int(rng.integers(1, 12))
+        m.add_constr(quicksum(int(c) * x for c, x in zip(coefs, xs)) <= rhs)
+    obj_coefs = rng.integers(-5, 6, size=n_vars)
+    m.set_objective(quicksum(int(c) * x for c, x in zip(obj_coefs, xs)))
+    return m
+
+
+class TestBackendAgreement:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_bnb_matches_scipy_on_random_milps(self, seed):
+        m1 = _random_milp(seed)
+        m2 = _random_milp(seed)
+        r1 = m1.solve(backend="scipy")
+        r2 = m2.solve(backend="bnb", time_limit=20)
+        assert r1.status == r2.status or (r1.ok and r2.ok)
+        if r1.ok and r2.ok:
+            assert r1.objective == pytest.approx(r2.objective, abs=1e-6)
+
+    def test_bnb_maximize(self):
+        m = Model(sense=MAXIMIZE)
+        x = m.add_integer("x", ub=9)
+        y = m.add_integer("y", ub=9)
+        m.add_constr(3 * x + 5 * y <= 22)
+        m.set_objective(2 * x + 3 * y)
+        res = m.solve(backend="bnb", time_limit=20)
+        ref = Model(sense=MAXIMIZE)
+        x2 = ref.add_integer("x", ub=9)
+        y2 = ref.add_integer("y", ub=9)
+        ref.add_constr(3 * x2 + 5 * y2 <= 22)
+        ref.set_objective(2 * x2 + 3 * y2)
+        assert res.objective == pytest.approx(ref.solve().objective)
+
+    def test_bnb_infeasible(self):
+        m = Model()
+        x = m.add_integer("x", ub=3)
+        m.add_constr(x >= 5)
+        res = m.solve(backend="bnb", time_limit=10)
+        assert res.status == "infeasible"
+
+    def test_bnb_pure_lp(self):
+        m = Model()
+        x = m.add_var("x", ub=4)
+        m.add_constr(x <= 2.5)
+        m.set_objective(-x)
+        res = m.solve(backend="bnb", time_limit=10)
+        assert res.objective == pytest.approx(-2.5)
+
+
+class TestProgress:
+    def _knapsack(self, n=12, seed=3):
+        rng = np.random.default_rng(seed)
+        m = Model(sense=MAXIMIZE)
+        xs = [m.add_binary(f"x{i}") for i in range(n)]
+        w = rng.integers(1, 20, size=n)
+        v = rng.integers(1, 20, size=n)
+        m.add_constr(quicksum(int(a) * x for a, x in zip(w, xs)) <= int(w.sum() // 3))
+        m.set_objective(quicksum(int(a) * x for a, x in zip(v, xs)))
+        return m
+
+    def test_progress_events_emitted(self):
+        m = self._knapsack()
+        events = []
+        m.progress_callback = events.append
+        res = m.solve(backend="bnb", time_limit=15, progress_interval=0.0)
+        assert res.ok
+        assert len(events) >= 1
+        assert all(e.time_s >= 0 for e in events)
+
+    def test_progress_gap_reaches_zero_on_optimal(self):
+        m = self._knapsack(n=8)
+        res = m.solve(backend="bnb", time_limit=15, progress_interval=0.0)
+        assert res.status == OPTIMAL
+        assert res.progress[-1].gap == pytest.approx(0.0, abs=1e-6)
+
+    def test_progress_gap_weakly_decreasing_at_end(self):
+        m = self._knapsack(n=14, seed=5)
+        res = m.solve(backend="bnb", time_limit=15, progress_interval=0.0)
+        gaps = [e.gap for e in res.progress if np.isfinite(e.gap)]
+        assert gaps, "expected at least one finite-gap sample"
+        assert gaps[-1] <= gaps[0] + 1e-9
+
+    def test_node_limit_terminates(self):
+        m = self._knapsack(n=16, seed=9)
+        res = m.solve(backend="bnb", time_limit=60, max_nodes=5)
+        assert res.status in ("optimal", "feasible", "no_solution")

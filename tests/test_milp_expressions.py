@@ -1,0 +1,156 @@
+"""Unit tests for the MILP expression algebra."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.milp import EQ, GE, LE, Constraint, LinExpr, Model, Var, quicksum
+
+
+@pytest.fixture
+def model():
+    return Model("t")
+
+
+class TestLinExprAlgebra:
+    def test_var_plus_var(self, model):
+        x, y = model.add_var("x"), model.add_var("y")
+        e = x + y
+        assert e.coeffs == {0: 1.0, 1: 1.0}
+        assert e.const == 0.0
+
+    def test_var_plus_scalar(self, model):
+        x = model.add_var("x")
+        e = x + 3
+        assert e.coeffs == {0: 1.0}
+        assert e.const == 3.0
+
+    def test_radd_scalar(self, model):
+        x = model.add_var("x")
+        e = 3 + x
+        assert e.const == 3.0
+
+    def test_subtraction(self, model):
+        x, y = model.add_var("x"), model.add_var("y")
+        e = x - y - 2
+        assert e.coeffs == {0: 1.0, 1: -1.0}
+        assert e.const == -2.0
+
+    def test_rsub(self, model):
+        x = model.add_var("x")
+        e = 5 - x
+        assert e.coeffs == {0: -1.0}
+        assert e.const == 5.0
+
+    def test_negation(self, model):
+        x = model.add_var("x")
+        e = -(x + 1)
+        assert e.coeffs == {0: -1.0}
+        assert e.const == -1.0
+
+    def test_scalar_multiply(self, model):
+        x, y = model.add_var("x"), model.add_var("y")
+        e = 2 * (x + 3 * y + 1)
+        assert e.coeffs == {0: 2.0, 1: 6.0}
+        assert e.const == 2.0
+
+    def test_cancellation_removes_term(self, model):
+        x, y = model.add_var("x"), model.add_var("y")
+        e = (x + y) - x
+        assert 0 not in e.coeffs
+        assert e.coeffs == {1: 1.0}
+
+    def test_iadd_accumulates(self, model):
+        x = model.add_var("x")
+        e = LinExpr()
+        e += x
+        e += x
+        assert e.coeffs == {0: 2.0}
+
+    def test_value_evaluation(self, model):
+        x, y = model.add_var("x"), model.add_var("y")
+        e = 2 * x - y + 4
+        assert e.value([3.0, 1.0]) == pytest.approx(9.0)
+
+    def test_copy_is_independent(self, model):
+        x = model.add_var("x")
+        e = x + 1
+        e2 = e.copy()
+        e2 += x
+        assert e.coeffs == {0: 1.0}
+        assert e2.coeffs == {0: 2.0}
+
+
+class TestConstraints:
+    def test_le_constraint(self, model):
+        x = model.add_var("x")
+        c = x <= 5
+        assert isinstance(c, Constraint)
+        assert c.sense == LE
+        lo, hi = c.bounds()
+        assert lo == -math.inf and hi == 5.0
+
+    def test_ge_constraint(self, model):
+        x = model.add_var("x")
+        c = x >= 2
+        lo, hi = c.bounds()
+        assert lo == 2.0 and hi == math.inf
+
+    def test_eq_constraint(self, model):
+        x, y = model.add_var("x"), model.add_var("y")
+        c = x + y == 7
+        lo, hi = c.bounds()
+        assert lo == hi == 7.0
+
+    def test_expr_vs_expr(self, model):
+        x, y = model.add_var("x"), model.add_var("y")
+        c = x + 1 <= y + 4
+        lo, hi = c.bounds()
+        assert hi == 3.0
+        assert c.expr.coeffs == {0: 1.0, 1: -1.0}
+
+    def test_var_identity_eq_is_bool(self, model):
+        x = model.add_var("x")
+        assert (x == x) is True
+
+
+class TestQuicksum:
+    def test_empty(self):
+        e = quicksum([])
+        assert e.coeffs == {} and e.const == 0.0
+
+    def test_mixed(self, model):
+        x, y = model.add_var("x"), model.add_var("y")
+        e = quicksum([x, 2 * y, 3, x])
+        assert e.coeffs == {0: 2.0, 1: 2.0}
+        assert e.const == 3.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    coefs=st.lists(
+        st.floats(min_value=-50, max_value=50, allow_nan=False), min_size=1, max_size=6
+    ),
+    point=st.lists(
+        st.floats(min_value=-10, max_value=10, allow_nan=False), min_size=6, max_size=6
+    ),
+)
+def test_property_linearity(coefs, point):
+    """value(a*e) == a*value(e) and value(e1+e2) == value(e1)+value(e2)."""
+    m = Model("h")
+    xs = [m.add_var(f"x{i}") for i in range(6)]
+    e = quicksum(c * x for c, x in zip(coefs, xs))
+    v = e.value(point)
+    assert (2.5 * e).value(point) == pytest.approx(2.5 * v, rel=1e-9, abs=1e-9)
+    assert (e + e).value(point) == pytest.approx(2 * v, rel=1e-9, abs=1e-9)
+    assert (e - e).value(point) == pytest.approx(0.0, abs=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(consts=st.lists(st.integers(min_value=-100, max_value=100), min_size=2, max_size=5))
+def test_property_sum_of_constants(consts):
+    e = quicksum(consts)
+    assert e.const == sum(consts)
+    assert e.coeffs == {}

@@ -1,0 +1,170 @@
+"""Unit tests for Model construction and the scipy/HiGHS backend."""
+
+import numpy as np
+import pytest
+
+from repro.milp import (
+    BINARY,
+    CONTINUOUS,
+    FEASIBLE,
+    INFEASIBLE,
+    INTEGER,
+    MAXIMIZE,
+    MINIMIZE,
+    OPTIMAL,
+    Model,
+    quicksum,
+)
+
+
+class TestModelConstruction:
+    def test_add_var_defaults(self):
+        m = Model()
+        x = m.add_var("x")
+        assert x.domain == CONTINUOUS and x.lb == 0.0
+        assert m.num_vars == 1
+
+    def test_add_binary_bounds(self):
+        m = Model()
+        b = m.add_binary("b")
+        assert b.domain == BINARY and (b.lb, b.ub) == (0.0, 1.0)
+
+    def test_add_integer(self):
+        m = Model()
+        i = m.add_integer("i", lb=2, ub=9)
+        assert i.domain == INTEGER and (i.lb, i.ub) == (2, 9)
+
+    def test_add_vars_bulk(self):
+        m = Model()
+        vs = m.add_vars(5, prefix="y")
+        assert len(vs) == 5 and vs[3].name == "y[3]"
+
+    def test_add_constr_rejects_non_constraint(self):
+        m = Model()
+        x = m.add_var("x")
+        with pytest.raises(TypeError):
+            m.add_constr(x + 1)  # an expression, not a comparison
+
+    def test_to_arrays_shapes(self):
+        m = Model()
+        x = m.add_var("x")
+        y = m.add_integer("y", ub=4)
+        m.add_constr(x + y <= 3)
+        m.add_constr(x - y >= -1)
+        m.set_objective(x + 2 * y)
+        c, c0, A, lo, hi, integrality, lb, ub = m.to_arrays()
+        assert c.tolist() == [1.0, 2.0]
+        assert A.shape == (2, 2)
+        assert integrality.tolist() == [0, 1]
+
+    def test_maximize_negates_in_arrays(self):
+        m = Model(sense=MAXIMIZE)
+        x = m.add_var("x", ub=2)
+        m.set_objective(3 * x)
+        c, c0, *_ = m.to_arrays()
+        assert c.tolist() == [-3.0]
+
+
+class TestScipySolve:
+    def test_simple_lp(self):
+        m = Model()
+        x = m.add_var("x", ub=10)
+        y = m.add_var("y", ub=10)
+        m.add_constr(x + y <= 8)
+        m.set_objective(-(x + 2 * y))  # maximize x+2y by minimizing negative
+        res = m.solve()
+        assert res.status == OPTIMAL
+        assert res.objective == pytest.approx(-16.0)
+
+    def test_simple_milp(self):
+        m = Model()
+        x = m.add_integer("x", ub=10)
+        m.add_constr(2 * x <= 7)
+        m.set_objective(-x)
+        res = m.solve()
+        assert res.status == OPTIMAL
+        assert res.value(x) == pytest.approx(3.0)
+
+    def test_maximize_orientation(self):
+        m = Model(sense=MAXIMIZE)
+        x = m.add_integer("x", ub=5)
+        m.add_constr(x <= 4)
+        m.set_objective(x + 10)
+        res = m.solve()
+        assert res.objective == pytest.approx(14.0)
+
+    def test_infeasible(self):
+        m = Model()
+        x = m.add_var("x", ub=1)
+        m.add_constr(x >= 2)
+        res = m.solve()
+        assert res.status == INFEASIBLE
+        assert not res.ok
+
+    def test_binary_knapsack(self):
+        m = Model(sense=MAXIMIZE)
+        values = [6, 10, 12]
+        weights = [1, 2, 3]
+        xs = [m.add_binary(f"x{i}") for i in range(3)]
+        m.add_constr(quicksum(w * x for w, x in zip(weights, xs)) <= 5)
+        m.set_objective(quicksum(v * x for v, x in zip(values, xs)))
+        res = m.solve()
+        assert res.objective == pytest.approx(22.0)  # items 2 and 3
+
+    def test_value_of_expression(self):
+        m = Model()
+        x = m.add_integer("x", ub=3)
+        m.add_constr(x >= 3)
+        m.set_objective(x)
+        res = m.solve()
+        assert res.value(2 * x + 1) == pytest.approx(7.0)
+
+    def test_value_without_solution_raises(self):
+        m = Model()
+        x = m.add_var("x", ub=1)
+        m.add_constr(x >= 2)
+        res = m.solve()
+        with pytest.raises(ValueError):
+            res.value(x)
+
+    def test_objective_constant_carried(self):
+        m = Model()
+        x = m.add_var("x", lb=1, ub=1)
+        m.set_objective(x + 100)
+        res = m.solve()
+        assert res.objective == pytest.approx(101.0)
+
+    def test_time_limit_returns_result(self):
+        # tiny model: even with a 1ms budget we should get *some* status back
+        m = Model()
+        x = m.add_integer("x", ub=3)
+        m.set_objective(x)
+        res = m.solve(time_limit=0.001)
+        assert res.status in (OPTIMAL, FEASIBLE, "no_solution")
+
+    def test_unbounded_detected(self):
+        m = Model()
+        x = m.add_var("x")  # lb=0, no ub
+        m.set_objective(-x)
+        res = m.solve()
+        assert res.status in ("unbounded", INFEASIBLE, "no_solution")
+        assert not res.ok
+
+    def test_equality_constraint(self):
+        m = Model()
+        x = m.add_var("x", ub=10)
+        y = m.add_var("y", ub=10)
+        m.add_constr(x + y == 6)
+        m.add_constr(x - y == 2)
+        m.set_objective(x)
+        res = m.solve()
+        assert res.value(x) == pytest.approx(4.0)
+        assert res.value(y) == pytest.approx(2.0)
+
+    def test_empty_constraints_model(self):
+        m = Model()
+        x = m.add_var("x", ub=2)
+        m.set_objective(x)
+        res = m.solve()
+        assert res.status == OPTIMAL
+        assert res.objective == pytest.approx(0.0)

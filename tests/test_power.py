@@ -1,0 +1,87 @@
+"""Tests for the DSENT-substitute power/area model (Fig. 9 behaviours)."""
+
+import pytest
+
+from repro.power import INTERPOSER_AREA_MM2, analyze, compare_to_mesh
+from repro.topology import LAYOUT_4X5, expert_topology, folded_torus, mesh
+
+
+@pytest.fixture(scope="module")
+def mesh20():
+    return mesh(LAYOUT_4X5)
+
+
+@pytest.fixture(scope="module")
+def ft20():
+    return folded_torus(LAYOUT_4X5)
+
+
+class TestPowerModel:
+    def test_breakdown_positive(self, mesh20):
+        pa = analyze(mesh20)
+        assert pa.static_power_mw > 0
+        assert pa.dynamic_power_mw > 0
+        assert pa.total_power_mw == pytest.approx(
+            pa.static_power_mw + pa.dynamic_power_mw
+        )
+
+    def test_leakage_flat_across_same_router_count(self, mesh20, ft20):
+        """Paper: leakage 'more or less the same' — same 20 routers;
+        only the wire-repeater share differs."""
+        a = analyze(mesh20)
+        b = analyze(ft20)
+        assert b.static_power_mw == pytest.approx(a.static_power_mw, rel=0.35)
+
+    def test_more_wire_more_dynamic_at_same_clock(self, mesh20, ft20):
+        a = analyze(mesh20, clock_ghz=3.0)
+        b = analyze(ft20, clock_ghz=3.0)
+        assert b.dynamic_power_mw > a.dynamic_power_mw
+
+    def test_slower_clock_cuts_dynamic(self, ft20):
+        fast = analyze(ft20, clock_ghz=3.6)
+        slow = analyze(ft20, clock_ghz=2.7)
+        assert slow.dynamic_power_mw == pytest.approx(
+            fast.dynamic_power_mw * 2.7 / 3.6
+        )
+        assert slow.static_power_mw == fast.static_power_mw
+
+    def test_activity_scales_dynamic_only(self, ft20):
+        lo = analyze(ft20, activity=0.1)
+        hi = analyze(ft20, activity=0.4)
+        assert hi.dynamic_power_mw == pytest.approx(4 * lo.dynamic_power_mw)
+        assert hi.static_power_mw == lo.static_power_mw
+
+
+class TestAreaModel:
+    def test_wire_area_dominates(self, mesh20):
+        """Paper: 'total wire area is the dominant fraction'."""
+        pa = analyze(mesh20)
+        assert pa.wire_area_mm2 > pa.router_area_mm2
+
+    def test_interposer_fraction_small(self, ft20):
+        """Paper: NetSmith NoIs are under 3% of interposer area."""
+        assert analyze(ft20).interposer_area_fraction < 0.03
+
+    def test_radix_quadratic_router_area(self, mesh20):
+        a4 = analyze(mesh20, radix=4)
+        a8 = analyze(mesh20, radix=8)
+        assert a8.router_area_mm2 == pytest.approx(4 * a4.router_area_mm2)
+
+
+class TestNormalization:
+    def test_self_normalization_is_unity(self, mesh20):
+        pa = analyze(mesh20)
+        norm = pa.normalized_to(pa)
+        assert all(v == pytest.approx(1.0) for v in norm.values())
+
+    def test_compare_to_mesh_keys(self, mesh20, ft20):
+        out = compare_to_mesh([ft20], mesh20)
+        assert "FoldedTorus" in out
+        assert set(out["FoldedTorus"]) == {
+            "static_power", "dynamic_power", "total_power",
+            "router_area", "wire_area", "total_area",
+        }
+
+    def test_longer_links_cost_area(self, mesh20, ft20):
+        out = compare_to_mesh([ft20], mesh20)
+        assert out["FoldedTorus"]["wire_area"] > 1.0

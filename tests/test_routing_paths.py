@@ -1,0 +1,115 @@
+"""Tests for shortest-path enumeration and NDBT routing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.routing import (
+    doubles_back_horizontally,
+    enumerate_shortest_paths,
+    ndbt_paths,
+    ndbt_route,
+    single_shortest_paths,
+)
+from repro.topology import LAYOUT_4X5, Layout, Topology, folded_torus, mesh
+
+
+@pytest.fixture(scope="module")
+def mesh20():
+    return mesh(LAYOUT_4X5)
+
+
+class TestEnumeration:
+    def test_all_pairs_present(self, mesh20):
+        ps = enumerate_shortest_paths(mesh20)
+        assert len(ps.paths) == 20 * 19
+        ps.validate()
+
+    def test_path_lengths_match_distance(self, mesh20):
+        ps = enumerate_shortest_paths(mesh20)
+        d = mesh20.hop_matrix()
+        for (s, t), plist in ps.paths.items():
+            for p in plist:
+                assert len(p) - 1 == int(d[s, t])
+
+    def test_mesh_path_count_combinatorial(self, mesh20):
+        """#shortest paths in a mesh = C(dx+dy, dx)."""
+        ps = enumerate_shortest_paths(mesh20)
+        # (0,0) -> (2,1): C(3,1) = 3 paths
+        assert len(ps[(0, LAYOUT_4X5.router_at(2, 1))]) == 3
+        # (0,0) -> (1,1): 2 paths
+        assert len(ps[(0, LAYOUT_4X5.router_at(1, 1))]) == 2
+
+    def test_max_paths_cap(self, mesh20):
+        ps = enumerate_shortest_paths(mesh20, max_paths_per_pair=2)
+        assert all(len(v) <= 2 for v in ps.paths.values())
+
+    def test_disconnected_raises(self):
+        lay = Layout(rows=1, cols=3)
+        t = Topology(lay, [(0, 1), (1, 0)])
+        with pytest.raises(ValueError):
+            enumerate_shortest_paths(t)
+
+    def test_links_of(self, mesh20):
+        ps = enumerate_shortest_paths(mesh20)
+        p = ps[(0, 2)][0]
+        links = ps.links_of(p)
+        assert len(links) == len(p) - 1
+        assert links[0][0] == 0 and links[-1][1] == 2
+
+    def test_single_paths_deterministic(self, mesh20):
+        a = single_shortest_paths(mesh20, seed=7)
+        b = single_shortest_paths(mesh20, seed=7)
+        assert a.paths == b.paths
+        assert all(len(v) == 1 for v in a.paths.values())
+
+    def test_flat_listing(self, mesh20):
+        ps = enumerate_shortest_paths(mesh20, max_paths_per_pair=4)
+        flat = ps.flat()
+        assert len(flat) == ps.total_paths
+
+
+class TestNDBT:
+    def test_double_back_detection(self, mesh20):
+        # east then west: doubles back
+        p = (0, 1, 0)
+        assert doubles_back_horizontally(mesh20, p)
+        # monotone east: fine
+        assert not doubles_back_horizontally(mesh20, (0, 1, 2))
+        # vertical moves don't count
+        assert not doubles_back_horizontally(mesh20, (0, 5, 10))
+
+    def test_ndbt_filters_mesh_keeps_all(self, mesh20):
+        """Mesh shortest paths are monotone: NDBT removes nothing."""
+        full = enumerate_shortest_paths(mesh20)
+        nd = ndbt_paths(mesh20)
+        assert nd.total_paths == full.total_paths
+
+    def test_ndbt_filters_folded_torus(self):
+        ft = folded_torus(LAYOUT_4X5)
+        full = enumerate_shortest_paths(ft)
+        nd = ndbt_paths(ft)
+        assert nd.total_paths <= full.total_paths
+        nd.validate()
+
+    def test_ndbt_route_single_and_valid(self):
+        ft = folded_torus(LAYOUT_4X5)
+        r = ndbt_route(ft, seed=3)
+        assert all(len(v) == 1 for v in r.paths.values())
+        r.validate()
+
+    def test_ndbt_fallback_when_all_double_back(self):
+        """A directed ring forces double-backs; the fallback must keep
+        the network routable."""
+        lay = Layout(rows=1, cols=4)
+        t = Topology(lay, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        nd = ndbt_paths(t)
+        assert all(len(v) >= 1 for v in nd.paths.values())
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 1000))
+def test_property_route_seed_determinism(seed):
+    ft = folded_torus(LAYOUT_4X5)
+    assert ndbt_route(ft, seed=seed).paths == ndbt_route(ft, seed=seed).paths

@@ -1,0 +1,185 @@
+"""Unit tests for the Topology type and serialization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology import LAYOUT_4X5, Layout, Topology, from_dict, loads, dumps, to_dict
+
+
+@pytest.fixture
+def ring():
+    lay = Layout(rows=1, cols=4)
+    return Topology(lay, [(0, 1), (1, 2), (2, 3), (3, 0)], name="ring")
+
+
+class TestConstruction:
+    def test_directed_links(self, ring):
+        assert ring.num_directed_links == 4
+        assert ring.num_links == 2  # full-duplex pairing convention
+        assert ring.has_link(0, 1) and not ring.has_link(1, 0)
+
+    def test_self_link_rejected(self):
+        lay = Layout(rows=1, cols=3)
+        with pytest.raises(ValueError, match="self-link"):
+            Topology(lay, [(1, 1)])
+
+    def test_out_of_range_rejected(self):
+        lay = Layout(rows=1, cols=3)
+        with pytest.raises(ValueError):
+            Topology(lay, [(0, 3)])
+
+    def test_from_undirected_symmetric(self):
+        lay = Layout(rows=2, cols=2)
+        t = Topology.from_undirected(lay, [(0, 1), (1, 3)])
+        assert t.is_symmetric
+        assert t.num_directed_links == 4
+        assert t.num_links == 2
+
+    def test_from_adjacency(self):
+        lay = Layout(rows=1, cols=3)
+        adj = np.zeros((3, 3), dtype=bool)
+        adj[0, 1] = adj[1, 2] = adj[2, 0] = True
+        t = Topology.from_adjacency(lay, adj)
+        assert t.directed_links == [(0, 1), (1, 2), (2, 0)]
+
+    def test_from_adjacency_bad_shape(self):
+        lay = Layout(rows=1, cols=3)
+        with pytest.raises(ValueError):
+            Topology.from_adjacency(lay, np.zeros((2, 2), dtype=bool))
+
+    def test_from_adjacency_diagonal_rejected(self):
+        lay = Layout(rows=1, cols=3)
+        adj = np.eye(3, dtype=bool)
+        with pytest.raises(ValueError):
+            Topology.from_adjacency(lay, adj)
+
+
+class TestDegreesAndNeighbors:
+    def test_degrees(self, ring):
+        assert ring.out_degree(0) == 1
+        assert ring.in_degree(0) == 1
+        assert ring.out_degree().tolist() == [1, 1, 1, 1]
+        assert ring.max_radix() == 1
+
+    def test_neighbors(self, ring):
+        assert ring.neighbors_out(0) == [1]
+        assert ring.neighbors_in(0) == [3]
+
+
+class TestDistances:
+    def test_hop_matrix_ring(self, ring):
+        d = ring.hop_matrix()
+        assert d[0, 1] == 1
+        assert d[0, 3] == 3  # directed ring: the long way
+        assert d[3, 0] == 1
+
+    def test_connected(self, ring):
+        assert ring.is_connected()
+
+    def test_disconnected(self):
+        lay = Layout(rows=1, cols=4)
+        t = Topology(lay, [(0, 1), (1, 0)])
+        assert not t.is_connected()
+
+    def test_one_way_is_not_strongly_connected(self):
+        lay = Layout(rows=1, cols=3)
+        t = Topology(lay, [(0, 1), (1, 2)])
+        assert not t.is_connected()
+
+
+class TestMutation:
+    def test_with_link(self, ring):
+        t2 = ring.with_link(0, 2)
+        assert t2.has_link(0, 2) and not ring.has_link(0, 2)
+
+    def test_without_link(self, ring):
+        t2 = ring.without_link(0, 1)
+        assert not t2.has_link(0, 1)
+
+    def test_reversed(self, ring):
+        r = ring.reversed()
+        assert r.has_link(1, 0) and not r.has_link(0, 1)
+
+
+class TestValidation:
+    def test_radix_violation_reported(self):
+        lay = Layout(rows=1, cols=4)
+        t = Topology(lay, [(0, 1), (0, 2), (0, 3), (1, 0), (2, 0), (3, 0)])
+        problems = t.violations(radix=2)
+        assert any("out-degree" in p for p in problems)
+
+    def test_link_class_violation(self):
+        t = Topology(LAYOUT_4X5, [(0, 2), (2, 0)], link_class="small")
+        problems = t.violations()
+        assert any("exceeding class" in p for p in problems)
+
+    def test_check_raises(self):
+        lay = Layout(rows=1, cols=4)
+        t = Topology(lay, [(0, 1), (1, 0)], name="frag")
+        with pytest.raises(ValueError, match="frag"):
+            t.check()
+
+    def test_valid_passes(self, ring):
+        ring.check()  # no radix/class limits: only connectivity
+
+
+class TestSerialization:
+    def test_roundtrip_dict(self, ring):
+        t2 = from_dict(to_dict(ring))
+        assert t2.directed_links == ring.directed_links
+        assert t2.name == ring.name
+        assert (t2.layout.rows, t2.layout.cols) == (1, 4)
+
+    def test_roundtrip_json(self, ring):
+        t2 = loads(dumps(ring))
+        assert np.array_equal(t2.adj, ring.adj)
+
+    def test_save_load(self, ring, tmp_path):
+        from repro.topology import load, save
+
+        p = tmp_path / "topo.json"
+        save(ring, str(p))
+        t2 = load(str(p))
+        assert t2.directed_links == ring.directed_links
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.data())
+def test_property_undirected_always_symmetric(data):
+    rows = data.draw(st.integers(2, 4))
+    cols = data.draw(st.integers(2, 4))
+    lay = Layout(rows=rows, cols=cols)
+    n = lay.n
+    edges = data.draw(
+        st.sets(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)).filter(
+                lambda e: e[0] != e[1]
+            ),
+            max_size=12,
+        )
+    )
+    t = Topology.from_undirected(lay, list(edges))
+    assert t.is_symmetric
+    assert t.num_directed_links % 2 == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.data())
+def test_property_serialization_roundtrip(data):
+    rows = data.draw(st.integers(2, 4))
+    cols = data.draw(st.integers(2, 4))
+    lay = Layout(rows=rows, cols=cols)
+    n = lay.n
+    links = data.draw(
+        st.sets(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)).filter(
+                lambda e: e[0] != e[1]
+            ),
+            max_size=16,
+        )
+    )
+    t = Topology(lay, list(links))
+    t2 = loads(dumps(t))
+    assert np.array_equal(t.adj, t2.adj)
