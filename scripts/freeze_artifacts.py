@@ -1,40 +1,32 @@
 """Merge .gen/*.json (from generate_all.py) into the package data files
-consumed by repro.topology.expert_data and repro.core.pregenerated."""
+consumed by repro.topology.expert_data and repro.core.pregenerated.
 
-import json
+Thin CLI over :func:`repro.runner.artifacts.freeze`.
+"""
+
+import argparse
 import os
+import sys
 
-HERE = os.path.dirname(__file__)
-GEN = os.path.join(HERE, "..", ".gen")
-TOPO_DATA = os.path.join(HERE, "..", "src", "repro", "topology", "_data")
-CORE_DATA = os.path.join(HERE, "..", "src", "repro", "core", "_data")
-os.makedirs(TOPO_DATA, exist_ok=True)
-os.makedirs(CORE_DATA, exist_ok=True)
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
 
+from repro.runner.artifacts import freeze  # noqa: E402
 
-def load(fname):
-    p = os.path.join(GEN, fname)
-    if os.path.exists(p):
-        with open(p) as fh:
-            return json.load(fh)
-    return {}
+HERE = os.path.dirname(os.path.abspath(__file__))
 
 
-experts = {}
-for fname, n in (("experts20.json", 20), ("experts30.json", 30)):
-    for name, edges in load(fname).items():
-        experts[f"{name}/{n}"] = edges
-for name, edges in load("lpbt20.json").items():
-    experts[f"{name}/20"] = edges
-with open(os.path.join(TOPO_DATA, "experts.json"), "w") as fh:
-    json.dump(experts, fh, indent=1)
-print(f"experts.json: {len(experts)} entries")
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--gen", default=os.path.join(HERE, "..", ".gen"),
+                    help="generation output dir (default .gen)")
+    ap.add_argument("--src", default=os.path.join(HERE, "..", "src"),
+                    help="package source root (default src)")
+    args = ap.parse_args(argv)
+    freeze(args.gen, args.src)
+    return 0
 
-netsmith = {}
-for fname, n in (("ns20.json", 20), ("ns30.json", 30), ("ns48.json", 48)):
-    for key, links in load(fname).items():
-        kind, cls = key.split("/")
-        netsmith[f"{kind}/{cls}/{n}"] = links
-with open(os.path.join(CORE_DATA, "netsmith.json"), "w") as fh:
-    json.dump(netsmith, fh, indent=1)
-print(f"netsmith.json: {len(netsmith)} entries")
+
+if __name__ == "__main__":
+    raise SystemExit(main())

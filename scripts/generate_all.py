@@ -1,202 +1,64 @@
-"""One-shot generation of all frozen artifacts (run offline, ~60-90 min).
+"""Generate all frozen artifacts (offline; ~60-90 min serial).
 
-Produces JSON files under .gen/ :
+Thin CLI over :mod:`repro.runner.artifacts`: every artifact — expert or
+LPBT signature reconstruction, NS SCOp/ShufOpt/LatOp generation, SA
+scale-up — is an independent task fanned across ``--parallel`` worker
+processes and checkpointed twice (the ``.gen/*.json`` group files plus
+the content-addressed runner cache), so the pipeline is safe to
+interrupt and rerun at any point.
+
+Outputs under .gen/ :
   experts20.json  — signature-matched expert reconstructions at 20 routers
   experts30.json  — same at 30 routers
   ns20.json       — NS SCOp/ShufOpt at 20 (LatOp already frozen)
   ns30.json       — NS LatOp at 30
   ns48.json       — NS LatOp at 48 (SA)
   lpbt20.json     — LPBT signature reconstructions
+
+Merge into the package data with scripts/freeze_artifacts.py.
 """
 
-import json
+import argparse
 import os
 import sys
 import time
 
-from repro.topology import (
-    LAYOUT_4X5,
-    LAYOUT_6X5,
-    LAYOUT_8X6,
-    Signature,
-    Topology,
-    average_hops,
-    bisection_bandwidth,
-    diameter,
-    reconstruct,
-    summarize,
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
 )
-from repro.core import NetSmithConfig, anneal_topology, generate_scop, generate_shufopt, generate_latop
 
-OUT = os.path.join(os.path.dirname(__file__), "..", ".gen")
-os.makedirs(OUT, exist_ok=True)
+from repro.runner import Runner  # noqa: E402
+from repro.runner.artifacts import generate_all  # noqa: E402
 
-
-def save(fname, obj):
-    with open(os.path.join(OUT, fname), "w") as fh:
-        json.dump(obj, fh, indent=1)
-    print(f"WROTE {fname}", flush=True)
+DEFAULT_OUT = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", ".gen")
 
 
-def log(*a):
-    print(f"[{time.strftime('%H:%M:%S')}]", *a, flush=True)
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--out", default=DEFAULT_OUT, help="output dir (default .gen)")
+    ap.add_argument("--parallel", type=int, default=1, metavar="N",
+                    help="worker processes (1 = serial, 0 = all cores)")
+    ap.add_argument("--cache-dir", default=None,
+                    help="runner result cache (default $REPRO_CACHE_DIR "
+                         "or ./.repro-cache)")
+    ap.add_argument("--no-cache", action="store_true",
+                    help="skip the runner cache (group files still resume)")
+    ap.add_argument("--only", nargs="*", default=None, metavar="GROUP",
+                    help="restrict to group names (e.g. ns20 experts30) or "
+                         "task names (e.g. 'ns20:scop/small')")
+    args = ap.parse_args(argv)
 
+    def log(msg: str) -> None:
+        print(f"[{time.strftime('%H:%M:%S')}] {msg}", flush=True)
 
-def load(fname):
-    p = os.path.join(OUT, fname)
-    if os.path.exists(p):
-        with open(p) as fh:
-            return json.load(fh)
-    return {}
-
-
-# -- 1. expert reconstructions at 20 routers (Table II upper half) -----------
-SIGS20 = {
-    "Kite-Small": ("small", Signature(38, 4, 2.38, 8)),
-    "Kite-Medium": ("medium", Signature(40, 4, 2.25, 8)),
-    "Kite-Large": ("large", Signature(36, 5, 2.27, 8)),
-    "ButterDonut": ("large", Signature(36, 4, 2.32, 8)),
-    "DoubleButterfly": ("large", Signature(32, 4, 2.59, 8)),
-}
-
-experts20 = load("experts20.json")
-for name, (cls, sig) in SIGS20.items():
-    if name in experts20:
-        continue
-    t0 = time.time()
-    edges, cost = reconstruct(LAYOUT_4X5, cls, sig, steps=6000, restarts=3, seed=7)
-    t = Topology.from_undirected(LAYOUT_4X5, edges, name=name, link_class=cls)
-    s = summarize(t)
-    log(name, "cost", round(cost, 3), s.as_row(), f"{time.time()-t0:.0f}s")
-    experts20[name] = edges
-    save("experts20.json", experts20)
-
-# -- 2. LPBT signature reconstructions at 20 (Table II) -----------------------
-# LPBT emits asymmetric-ish sparse nets; published rows are symmetric-countable.
-LPBT_SIGS = {
-    "LPBT-Power": ("small", Signature(33, 5, 2.59, 4)),
-    "LPBT-Hops": ("small", Signature(34, 6, 2.74, 4)),
-}
-lpbt20 = load("lpbt20.json")
-for name, (cls, sig) in LPBT_SIGS.items():
-    if name in lpbt20:
-        continue
-    t0 = time.time()
-    edges, cost = reconstruct(LAYOUT_4X5, cls, sig, steps=6000, restarts=3, seed=11)
-    t = Topology.from_undirected(LAYOUT_4X5, edges, name=name, link_class=cls)
-    log(name, "cost", round(cost, 3), summarize(t).as_row(), f"{time.time()-t0:.0f}s")
-    lpbt20[name] = edges
-    save("lpbt20.json", lpbt20)
-
-# -- 3. NS SCOp + ShufOpt at 20 ------------------------------------------------
-ns20 = load("ns20.json")
-for cls, tl in (("small", 40), ("medium", 60), ("large", 60)):
-    if f"scop/{cls}" in ns20:
-        continue
-    t0 = time.time()
-    try:
-        gen, diag = generate_scop(
-            NetSmithConfig(layout=LAYOUT_4X5, link_class=cls, diameter_bound=4),
-            time_limit=tl,
-            max_iterations=8,
-        )
-        topo = gen.topology
-        # SA polish on the SCOp objective from the MILP incumbent
-        sa = anneal_topology(
-            NetSmithConfig(layout=LAYOUT_4X5, link_class=cls),
-            objective="sparsest_cut",
-            steps=400,
-            seed=3,
-            initial=topo,
-        )
-        if sa.objective > gen.objective:
-            topo = sa.topology
-        log("SCOp", cls, summarize(topo).as_row(), f"{time.time()-t0:.0f}s",
-            "iters", diag.iterations)
-        ns20[f"scop/{cls}"] = sorted(topo.directed_links)
-    except Exception as e:  # keep going; SCOp is the most fragile stage
-        log("SCOp", cls, "FAILED:", repr(e))
-    save("ns20.json", ns20)
-
-for cls in ("small", "medium", "large"):
-    if f"shufopt/{cls}" in ns20:
-        continue
-    t0 = time.time()
-    try:
-        gen = generate_shufopt(
-            NetSmithConfig(layout=LAYOUT_4X5, link_class=cls, diameter_bound=5),
-            time_limit=120,
-        )
-        log("ShufOpt", cls, summarize(gen.topology).as_row(), f"{time.time()-t0:.0f}s",
-            "gap", round(gen.mip_gap, 3))
-        ns20[f"shufopt/{cls}"] = sorted(gen.topology.directed_links)
-    except Exception as e:
-        log("ShufOpt", cls, "FAILED:", repr(e))
-    save("ns20.json", ns20)
-
-# -- 4. 30-router: NS LatOp (MILP) + expert reconstructions --------------------
-ns30 = load("ns30.json")
-for cls, tl in (("small", 180), ("medium", 180), ("large", 180)):
-    if f"latop/{cls}" in ns30:
-        continue
-    t0 = time.time()
-    try:
-        try:
-            gen = generate_latop(
-                NetSmithConfig(layout=LAYOUT_6X5, link_class=cls, diameter_bound=6),
-                time_limit=tl,
-            )
-            topo, obj = gen.topology, gen.objective
-        except RuntimeError:
-            topo, obj = None, float("inf")  # MILP found no incumbent: SA-only
-        sa = anneal_topology(
-            NetSmithConfig(layout=LAYOUT_6X5, link_class=cls),
-            objective="latency", steps=6000, seed=5, initial=topo,
-        )
-        if sa.objective < obj:
-            topo = sa.topology
-        log("LatOp30", cls, topo.num_links, diameter(topo),
-            round(average_hops(topo), 3), f"{time.time()-t0:.0f}s")
-        ns30[f"latop/{cls}"] = sorted(topo.directed_links)
-    except Exception as e:
-        log("LatOp30", cls, "FAILED:", repr(e))
-    save("ns30.json", ns30)
-
-SIGS30 = {
-    "Kite-Small": ("small", Signature(58, 5, 2.91, 10)),
-    "Kite-Medium": ("medium", Signature(60, 5, 2.66, 10)),
-    "Kite-Large": ("large", Signature(56, 5, 2.69, 10)),
-    "ButterDonut": ("large", Signature(44, 10, 3.71, 8)),
-    "DoubleButterfly": ("large", Signature(48, 5, 2.90, 8)),
-}
-experts30 = load("experts30.json")
-for name, (cls, sig) in SIGS30.items():
-    if name in experts30:
-        continue
-    t0 = time.time()
-    edges, cost = reconstruct(
-        LAYOUT_6X5, cls, sig, steps=4000, restarts=2, seed=13, exact_bisection=False
+    runner = Runner(
+        parallel=args.parallel, cache_dir=args.cache_dir, no_cache=args.no_cache
     )
-    t = Topology.from_undirected(LAYOUT_6X5, edges, name=name, link_class=cls)
-    log(name, "30r cost", round(cost, 3), t.num_links, diameter(t),
-        round(average_hops(t), 3), f"{time.time()-t0:.0f}s")
-    experts30[name] = edges
-    save("experts30.json", experts30)
+    counts = generate_all(args.out, runner=runner, only=args.only, log=log)
+    log(f"ALL DONE: {counts['done']} built, {counts['skipped']} already frozen, "
+        f"{counts['failed']} failed")
+    return 1 if counts["failed"] else 0
 
-# -- 5. 48-router NS LatOp via SA (Fig. 11) -------------------------------------
-ns48 = load("ns48.json")
-for cls in ("small", "medium", "large"):
-    if f"latop/{cls}" in ns48:
-        continue
-    t0 = time.time()
-    sa = anneal_topology(
-        NetSmithConfig(layout=LAYOUT_8X6, link_class=cls),
-        objective="latency", steps=9000, seed=9,
-    )
-    t = sa.topology
-    log("LatOp48", cls, t.num_links, diameter(t), round(average_hops(t), 3),
-        f"{time.time()-t0:.0f}s")
-    ns48[f"latop/{cls}"] = sorted(t.directed_links)
-    save("ns48.json", ns48)
 
-log("ALL DONE")
+if __name__ == "__main__":
+    raise SystemExit(main())

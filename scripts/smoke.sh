@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# CI-friendly fast tier: the full unit/integration suite minus the tests
+# marked `slow` (heavy simulation sweeps).  Finishes in a couple of
+# minutes on one core; the full tier is plain `pytest`, and the paper
+# figure reproductions are `pytest benchmarks/ --benchmark-only -s`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+exec python -m pytest -q -m "not slow" "$@"

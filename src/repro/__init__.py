@@ -22,6 +22,7 @@ Subpackages:
 * :mod:`repro.fullsys` — PARSEC profiles + closed-loop speedup model
 * :mod:`repro.power` — DSENT-substitute power/area model
 * :mod:`repro.experiments` — per-table/figure reproduction harness
+* :mod:`repro.runner` — parallel experiment runner + on-disk result cache
 """
 
 from .core import (

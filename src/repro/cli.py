@@ -6,7 +6,15 @@ Commands mirror the library's pipeline:
 * ``evaluate`` — Table II-style metrics for a saved or named topology;
 * ``route``    — MCLB/NDBT route a topology, report channel loads + VCs;
 * ``simulate`` — latency/throughput sweep under a traffic pattern;
+* ``run``      — named paper experiments through the parallel runner;
 * ``report``   — regenerate the paper's experiment report (EXPERIMENTS-style).
+
+``simulate``, ``run``, and ``report`` accept the runner flags
+``--parallel N`` (fan sim points across N worker processes; 0 = all
+cores), ``--cache-dir PATH`` (on-disk result cache location, default
+``$REPRO_CACHE_DIR`` or ``.repro-cache``), and ``--no-cache`` (bypass
+the cache entirely).  Results are bit-identical at any worker count; a
+cached rerun skips simulation outright.  See ``docs/CLI.md``.
 """
 
 from __future__ import annotations
@@ -105,26 +113,32 @@ def cmd_route(args) -> int:
     return 0
 
 
+def _make_runner(args):
+    from .runner import Runner
+
+    return Runner(
+        parallel=args.parallel,
+        cache_dir=args.cache_dir,
+        no_cache=args.no_cache,
+    )
+
+
 def cmd_simulate(args) -> int:
     from .experiments.registry import routed_table
-    from .sim import (
-        latency_throughput_curve,
-        memory_traffic,
-        shuffle_pattern,
-        uniform_random,
-    )
+    from .runner import TrafficSpec
 
     topo = _load_or_named(args.topology, args.routers)
     table = routed_table(topo, args.policy, seed=args.seed, use_cache=False)
     if args.traffic == "uniform":
-        traffic = uniform_random(topo.n)
+        spec = TrafficSpec.uniform(topo.n)
     elif args.traffic == "memory":
-        traffic = memory_traffic(topo.layout)
+        spec = TrafficSpec.memory(topo.layout)
     else:
-        traffic = shuffle_pattern(topo.n)
+        spec = TrafficSpec.shuffle(topo.n)
     rates = [args.max_rate * (k + 1) / args.points for k in range(args.points)]
-    curve = latency_throughput_curve(
-        table, traffic, rates,
+    runner = _make_runner(args)
+    curve = runner.curve(
+        table, spec, rates,
         link_class=args.link_class or topo.link_class,
         warmup=args.warmup, measure=args.measure, seed=args.seed,
     )
@@ -134,19 +148,82 @@ def cmd_simulate(args) -> int:
               f"{p.throughput_packets_node_cycle:9.3f} {str(p.saturated):>9}")
     print(f"saturation throughput: {curve.saturation_throughput_ns:.3f} "
           f"packets/node/ns @ {curve.clock_ghz} GHz")
+    if not args.no_cache:
+        print(runner.stats.summary(), file=sys.stderr)
+    return 0
+
+
+def cmd_run(args) -> int:
+    import time
+
+    from .experiments.registry import get_experiment, list_experiments
+
+    if args.experiment == "list":
+        print(f"{'experiment':<16} description")
+        for name, desc in list_experiments():
+            print(f"{name:<16} {desc}")
+        return 0
+    runner = _make_runner(args)
+    names = (
+        # `report` re-renders the fig6/fig7 sections the individual
+        # experiments already produce, so `all` leaves it out.
+        [name for name, _ in list_experiments() if name != "report"]
+        if args.experiment == "all"
+        else [args.experiment]
+    )
+    chunks = []
+    for name in names:
+        try:
+            spec = get_experiment(name)
+        except KeyError as exc:
+            raise SystemExit(exc.args[0])
+        t0 = time.time()
+        result = spec.run(runner, fast=not args.full)
+        text = spec.summarize(result)
+        chunks.append(text)
+        print(text)
+        print(f"[{name}: {time.time() - t0:.1f}s, "
+              f"{runner.parallel} worker(s)]", file=sys.stderr)
+    if not args.no_cache:
+        print(runner.stats.summary(), file=sys.stderr)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write("\n\n".join(chunks) + "\n")
+        print(f"[written to {args.out}]", file=sys.stderr)
     return 0
 
 
 def cmd_report(args) -> int:
     from .experiments.report import generate_report
 
-    text = generate_report(fast=not args.full)
+    runner = _make_runner(args)
+    text = generate_report(fast=not args.full, runner=runner)
     print(text)
+    if not args.no_cache:
+        print(runner.stats.summary(), file=sys.stderr)
     if args.out:
         with open(args.out, "w") as fh:
             fh.write(text)
         print(f"\n[written to {args.out}]", file=sys.stderr)
     return 0
+
+
+def _add_runner_flags(parser: argparse.ArgumentParser) -> None:
+    """The shared runner/cache surface (see docs/CLI.md)."""
+    parser.add_argument(
+        "--parallel", type=int, default=1, metavar="N",
+        help="worker processes for independent sim points "
+             "(1 = serial, 0 = all cores); results are identical either way",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="on-disk result cache location "
+             "(default: $REPRO_CACHE_DIR or ./.repro-cache)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the result cache: recompute everything, store nothing",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -194,12 +271,30 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--warmup", type=int, default=300)
     s.add_argument("--measure", type=int, default=1200)
     s.add_argument("--seed", type=int, default=0)
+    _add_runner_flags(s)
     s.set_defaults(fn=cmd_simulate)
+
+    run = sub.add_parser(
+        "run",
+        help="run a named paper experiment through the parallel runner",
+        description="Run one of the registered experiments (or 'all'); "
+                    "'repro run list' shows what is available. Sim points "
+                    "fan out over --parallel workers and land in the "
+                    "on-disk cache, so reruns are incremental.",
+    )
+    run.add_argument("experiment",
+                     help="experiment name, 'all', or 'list'")
+    run.add_argument("--full", action="store_true",
+                     help="full-budget sweeps (slow)")
+    run.add_argument("--out", default=None, help="also write summaries here")
+    _add_runner_flags(run)
+    run.set_defaults(fn=cmd_run)
 
     rep = sub.add_parser("report", help="regenerate the experiment report")
     rep.add_argument("--full", action="store_true",
                      help="full-budget sweeps (slow)")
     rep.add_argument("--out", default=None)
+    _add_runner_flags(rep)
     rep.set_defaults(fn=cmd_report)
     return p
 

@@ -4,7 +4,19 @@ Each module regenerates the corresponding artifact's rows/series and is
 wrapped by a benchmark in ``benchmarks/`` (see DESIGN.md's experiment
 index for the mapping)."""
 
-from .registry import MCLB, NDBT, RANDOM_SP, Entry, roster, routed_entry, routed_table
+from .registry import (
+    EXPERIMENTS,
+    MCLB,
+    NDBT,
+    RANDOM_SP,
+    Entry,
+    ExperimentSpec,
+    get_experiment,
+    list_experiments,
+    roster,
+    routed_entry,
+    routed_table,
+)
 from .table2 import PAPER_TABLE2_20, PAPER_TABLE2_30, Table2Row, format_table, table2
 from .fig1 import Fig1Point, fig1_points, pareto_front
 from .fig4 import Fig4Result, fig4_render
@@ -19,6 +31,7 @@ from .fig11 import Fig11Point, Fig11Result, fig11_points
 
 __all__ = [
     "roster", "routed_table", "routed_entry", "Entry", "NDBT", "MCLB", "RANDOM_SP",
+    "EXPERIMENTS", "ExperimentSpec", "get_experiment", "list_experiments",
     "table2", "format_table", "Table2Row", "PAPER_TABLE2_20", "PAPER_TABLE2_30",
     "fig1_points", "pareto_front", "Fig1Point",
     "fig4_render", "Fig4Result",

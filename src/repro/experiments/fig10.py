@@ -8,7 +8,7 @@ topologies show varied behaviour; the ShufOpt topology outperforms all.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -16,6 +16,9 @@ from ..core.pregenerated import netsmith_topology
 from ..sim import SweepResult, latency_throughput_curve, shuffle_pattern
 from ..topology import standard_layout
 from .registry import MCLB, Entry, roster, routed_entry, routed_table
+
+if TYPE_CHECKING:
+    from ..runner import Runner
 
 DEFAULT_RATES = tuple(np.round(np.linspace(0.05, 0.8, 8), 3))
 
@@ -43,11 +46,11 @@ def fig10_curves(
     measure: int = 1500,
     seed: int = 0,
     allow_generate: bool = True,
+    runner: Optional["Runner"] = None,
 ) -> Fig10Result:
     layout = standard_layout(n_routers)
-    traffic = shuffle_pattern(layout.n)
     rates = tuple(rates or DEFAULT_RATES)
-    curves: Dict[str, SweepResult] = {}
+    cast = []
     for cls in link_classes:
         entries = roster(cls, n_routers, include_lpbt=False, allow_generate=allow_generate)
         try:
@@ -56,8 +59,28 @@ def fig10_curves(
             )
         except KeyError:
             pass
-        for entry in entries:
-            table = routed_entry(entry, seed=seed)
+        cast.extend(
+            (cls, entry, routed_entry(entry, seed=seed, runner=runner))
+            for entry in entries
+        )
+
+    curves: Dict[str, SweepResult] = {}
+    if runner is not None:
+        from ..runner import CurveJob, TrafficSpec
+
+        jobs = [
+            CurveJob(
+                table=table, traffic=TrafficSpec.shuffle(layout.n), rates=rates,
+                name=entry.name, link_class=cls,
+                warmup=warmup, measure=measure, seed=seed,
+            )
+            for cls, entry, table in cast
+        ]
+        for (cls, entry, _), curve in zip(cast, runner.curves(jobs)):
+            curves[entry.name] = curve
+    else:
+        traffic = shuffle_pattern(layout.n)
+        for cls, entry, table in cast:
             curves[entry.name] = latency_throughput_curve(
                 table,
                 traffic,

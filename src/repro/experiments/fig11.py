@@ -9,12 +9,15 @@ could not produce a connected graph) and finds NetSmith ahead by 18%,
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from ..sim import find_saturation, uniform_random
 from ..topology import standard_layout
 from ..topology.layout import CLASS_CLOCK_GHZ
 from .registry import roster, routed_entry
+
+if TYPE_CHECKING:
+    from ..runner import Runner
 
 #: Families that scale to 8x6 per the paper's rules.
 SCALABLE = ("Kite-Small", "FoldedTorus", "Kite-Medium", "ButterDonut",
@@ -54,10 +57,12 @@ def fig11_points(
     measure: int = 1000,
     seed: int = 0,
     allow_generate: bool = True,
+    runner: Optional["Runner"] = None,
 ) -> Fig11Result:
+    """With a runner, each topology's whole saturation binary search is
+    one task, fanned across workers and cached."""
     layout = standard_layout(n_routers)
-    traffic = uniform_random(layout.n)
-    points: List[Fig11Point] = []
+    cast = []
     for cls in link_classes:
         for entry in roster(
             cls, n_routers, include_lpbt=False, include_scop=False,
@@ -67,15 +72,31 @@ def fig11_points(
                 continue  # the paper could not scale Kite-Large to 8x6
             if entry.name not in SCALABLE:
                 continue
-            table = routed_entry(entry, seed=seed)
-            sat = find_saturation(
-                table, traffic, warmup=warmup, measure=measure, seed=seed
+            cast.append((cls, entry, routed_entry(entry, seed=seed, runner=runner)))
+
+    if runner is not None:
+        from ..runner import SaturationJob, TrafficSpec
+
+        jobs = [
+            SaturationJob(
+                table=table, traffic=TrafficSpec.uniform(layout.n),
+                name=entry.name, warmup=warmup, measure=measure, seed=seed,
             )
-            points.append(
-                Fig11Point(
-                    name=entry.name,
-                    link_class=cls,
-                    saturation_packets_node_cycle=sat,
-                )
-            )
+            for cls, entry, table in cast
+        ]
+        sats = runner.saturations(jobs)
+    else:
+        traffic = uniform_random(layout.n)
+        sats = [
+            find_saturation(table, traffic, warmup=warmup, measure=measure, seed=seed)
+            for cls, entry, table in cast
+        ]
+    points = [
+        Fig11Point(
+            name=entry.name,
+            link_class=cls,
+            saturation_packets_node_cycle=sat,
+        )
+        for (cls, entry, _), sat in zip(cast, sats)
+    ]
     return Fig11Result(points=points)

@@ -9,13 +9,16 @@ packets/node/ns, as the paper does.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..sim import SweepResult, latency_throughput_curve, memory_traffic, uniform_random
+from ..sim import SweepResult, latency_throughput_curve
 from ..topology import standard_layout
 from .registry import roster, routed_entry
+
+if TYPE_CHECKING:
+    from ..runner import Runner
 
 DEFAULT_RATES = tuple(np.round(np.linspace(0.02, 0.40, 9), 3))
 MEMORY_RATES = tuple(np.round(np.linspace(0.01, 0.16, 7), 3))
@@ -51,21 +54,45 @@ def fig6_curves(
     measure: int = 1500,
     seed: int = 0,
     allow_generate: bool = True,
+    runner: Optional["Runner"] = None,
 ) -> Fig6Result:
+    """With a :class:`~repro.runner.Runner`, every (topology, rate) sim
+    point fans out across workers and lands in the result cache; without
+    one, the original serial sweep runs.  Curves are identical either
+    way."""
+    from ..runner import TrafficSpec
+
     layout = standard_layout(n_routers)
     if traffic_kind == "coherence":
-        traffic = uniform_random(layout.n)
+        spec = TrafficSpec.uniform(layout.n)
         rates = tuple(rates or DEFAULT_RATES)
     elif traffic_kind == "memory":
-        traffic = memory_traffic(layout)
+        spec = TrafficSpec.memory(layout)
         rates = tuple(rates or MEMORY_RATES)
     else:
         raise ValueError(f"traffic_kind must be coherence/memory, got {traffic_kind!r}")
 
+    cast = [
+        (cls, entry, routed_entry(entry, seed=seed, runner=runner))
+        for cls in link_classes
+        for entry in roster(cls, n_routers, allow_generate=allow_generate)
+    ]
     curves: Dict[str, SweepResult] = {}
-    for cls in link_classes:
-        for entry in roster(cls, n_routers, allow_generate=allow_generate):
-            table = routed_entry(entry, seed=seed)
+    if runner is not None:
+        from ..runner import CurveJob
+
+        jobs = [
+            CurveJob(
+                table=table, traffic=spec, rates=rates, name=entry.name,
+                link_class=cls, warmup=warmup, measure=measure, seed=seed,
+            )
+            for cls, entry, table in cast
+        ]
+        for (cls, entry, _), curve in zip(cast, runner.curves(jobs)):
+            curves[entry.name] = curve
+    else:
+        traffic = spec.build()
+        for cls, entry, table in cast:
             curves[entry.name] = latency_throughput_curve(
                 table,
                 traffic,

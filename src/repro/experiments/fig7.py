@@ -13,13 +13,16 @@ the analytical cut-based and occupancy-based bounds.  Expected findings:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from ..routing import throughput_bounds
 from ..routing.paths import PathSet
 from ..sim import MEAN_FLITS_PER_PACKET, find_saturation, uniform_random
 from ..topology import standard_layout
 from .registry import MCLB, NDBT, Entry, roster, routed_table
+
+if TYPE_CHECKING:
+    from ..runner import Runner
 
 
 @dataclass
@@ -47,15 +50,15 @@ def fig7_bars(
     measure: int = 1000,
     seed: int = 0,
     allow_generate: bool = True,
+    runner: Optional["Runner"] = None,
 ) -> List[Fig7Bar]:
     layout = standard_layout(n_routers)
-    traffic = uniform_random(layout.n)
-    bars: List[Fig7Bar] = []
+    cast = []
     for entry in roster(link_class, n_routers, include_lpbt=False, allow_generate=allow_generate):
         for policy in (NDBT, MCLB):
             if entry.name.startswith("NS-") and policy == NDBT:
                 continue  # paper: NetSmith employs MCLB routing only
-            table = routed_table(entry.topology, policy, seed=seed)
+            table = routed_table(entry.topology, policy, seed=seed, runner=runner)
             paths = {}
             for s in range(layout.n):
                 for d in range(layout.n):
@@ -63,20 +66,37 @@ def fig7_bars(
                         paths[(s, d)] = [table.route_of(s, d)]
             routes = PathSet(topology=entry.topology, paths=paths)
             bounds = throughput_bounds(entry.topology, routes)
-            sat = find_saturation(
-                table, traffic, warmup=warmup, measure=measure, seed=seed
+            cast.append((entry, policy, table, bounds))
+
+    if runner is not None:
+        from ..runner import SaturationJob, TrafficSpec
+
+        jobs = [
+            SaturationJob(
+                table=table, traffic=TrafficSpec.uniform(layout.n),
+                name=f"{entry.name}/{policy}",
+                warmup=warmup, measure=measure, seed=seed,
             )
-            bars.append(
-                Fig7Bar(
-                    topology=entry.name,
-                    routing=policy,
-                    measured_saturation=sat,
-                    cut_bound=bounds.cut_bound,
-                    occupancy_bound=bounds.occupancy_bound,
-                    routed_bound=bounds.routed_bound,
-                )
-            )
-    return bars
+            for entry, policy, table, _ in cast
+        ]
+        sats = runner.saturations(jobs)
+    else:
+        traffic = uniform_random(layout.n)
+        sats = [
+            find_saturation(table, traffic, warmup=warmup, measure=measure, seed=seed)
+            for _, _, table, _ in cast
+        ]
+    return [
+        Fig7Bar(
+            topology=entry.name,
+            routing=policy,
+            measured_saturation=sat,
+            cut_bound=bounds.cut_bound,
+            occupancy_bound=bounds.occupancy_bound,
+            routed_bound=bounds.routed_bound,
+        )
+        for (entry, policy, _, bounds), sat in zip(cast, sats)
+    ]
 
 
 def mclb_gain_summary(bars: List[Fig7Bar]) -> Dict[str, float]:

@@ -17,7 +17,7 @@ simulator's routing table.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core.mclb import mclb_route
 from ..core.pregenerated import lookup as ns_lookup, netsmith_topology
@@ -109,6 +109,9 @@ def roster(
 
 _table_cache: Dict[Tuple[str, int, str, str], RoutingTable] = {}
 
+#: Bump to invalidate disk-cached routed tables when routing semantics change.
+ROUTED_TABLE_VERSION = 1
+
 
 def routed_table(
     topo: Topology,
@@ -116,32 +119,244 @@ def routed_table(
     seed: int = 0,
     max_vcs: Optional[int] = None,
     use_cache: bool = True,
+    runner=None,
 ) -> RoutingTable:
     """Route a topology with a named policy and compile its table.
 
     The VC budget scales with network size: 8 layers suffice for every
     20/30-router configuration; irregular 48-router networks with MCLB's
     unconstrained shortest paths can need a few more.
+
+    With a :class:`repro.runner.Runner` carrying a cache, the compiled
+    table is also persisted on disk keyed by the topology's link set and
+    the routing configuration — MCLB's LP solve is seconds per topology,
+    and (unlike a fresh solve) a cached table is identical across runs
+    regardless of solver time limits.
     """
     if max_vcs is None:
         max_vcs = 8 if topo.n <= 30 else 14
     key = (topo.name, topo.n, policy, f"{seed}/{topo.num_directed_links}")
     if use_cache and key in _table_cache:
         return _table_cache[key]
-    if policy == NDBT:
-        routes = ndbt_route(topo, seed=seed)
-    elif policy == MCLB:
-        routes = mclb_route(topo, time_limit=60.0).routes
-    elif policy == RANDOM_SP:
-        routes = single_shortest_paths(topo, seed=seed)
-    else:
-        raise ValueError(f"unknown routing policy {policy!r}")
-    vca = assign_vcs(routes, max_vcs=max_vcs, seed=seed)
-    table = build_routing_table(routes, vca)
+
+    table: Optional[RoutingTable] = None
+    disk_key = None
+    if runner is not None and runner.cache is not None:
+        from ..runner import MISS, decode_table, task_key
+
+        disk_key = task_key("routed_table", {
+            "version": ROUTED_TABLE_VERSION,
+            "layout": [topo.layout.rows, topo.layout.cols],
+            "links": sorted([int(i), int(j)] for i, j in topo.directed_links),
+            "policy": policy,
+            "seed": int(seed),
+            "max_vcs": int(max_vcs),
+        })
+        doc = runner.cache.get(disk_key)
+        if doc is not MISS:
+            table = decode_table(doc)
+
+    if table is None:
+        if policy == NDBT:
+            routes = ndbt_route(topo, seed=seed)
+        elif policy == MCLB:
+            routes = mclb_route(topo, time_limit=60.0).routes
+        elif policy == RANDOM_SP:
+            routes = single_shortest_paths(topo, seed=seed)
+        else:
+            raise ValueError(f"unknown routing policy {policy!r}")
+        vca = assign_vcs(routes, max_vcs=max_vcs, seed=seed)
+        table = build_routing_table(routes, vca)
+        if disk_key is not None:
+            from ..runner import encode_table
+
+            runner.cache.put(disk_key, encode_table(table))
+
     if use_cache:
         _table_cache[key] = table
     return table
 
 
-def routed_entry(entry: Entry, seed: int = 0) -> RoutingTable:
-    return routed_table(entry.topology, entry.policy, seed=seed)
+def routed_entry(entry: Entry, seed: int = 0, runner=None) -> RoutingTable:
+    return routed_table(entry.topology, entry.policy, seed=seed, runner=runner)
+
+
+# ---------------------------------------------------------------------------
+# Named experiments (the ``repro run`` surface).
+#
+# Every entry routes its simulation work through a
+# :class:`repro.runner.Runner`, so ``--parallel`` fans sim points and
+# saturation searches across workers and the result cache makes reruns
+# incremental.  Figure modules are imported lazily inside each runner
+# function (they import this module at load time).
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ExperimentSpec:
+    """One runnable experiment: how to produce it and how to print it."""
+
+    name: str
+    description: str
+    run_fn: Callable  # (runner, fast, **kw) -> result
+    summarize_fn: Callable  # result -> printable str
+
+    def run(self, runner=None, fast: bool = True, **kwargs):
+        return self.run_fn(runner, fast, **kwargs)
+
+    def summarize(self, result) -> str:
+        return self.summarize_fn(result)
+
+
+def _run_table2(runner, fast, **kw):
+    from .table2 import format_table, table2
+
+    return format_table(table2(20, allow_generate=False))
+
+
+def _run_fig1(runner, fast, **kw):
+    from .fig1 import fig1_points, pareto_front
+
+    pts = fig1_points(20, allow_generate=False)
+    front = sorted(p.name for p in pareto_front(pts))
+    return {"points": len(pts), "pareto_front": front}
+
+
+def _fig6_budget(fast):
+    return {"warmup": 250 if fast else 400, "measure": 800 if fast else 1500}
+
+
+def _run_fig6(kind):
+    def run(runner, fast, **kw):
+        from .fig6 import fig6_curves
+
+        return fig6_curves(
+            kind, allow_generate=False, runner=runner, **_fig6_budget(fast), **kw
+        )
+
+    return run
+
+
+def _summarize_fig6(res):
+    lines = [f"Fig. 6 ({res.traffic}) saturation ranking (packets/node/ns):"]
+    lines += [f"  {name:<18} {sat:.3f}" for name, sat in res.saturation_ranking()]
+    return "\n".join(lines)
+
+
+def _run_fig7(runner, fast, **kw):
+    from .fig7 import fig7_bars
+
+    return fig7_bars(
+        "large", allow_generate=False, runner=runner,
+        warmup=200 if fast else 300, measure=600 if fast else 1000, **kw,
+    )
+
+
+def _summarize_fig7(bars):
+    from .fig7 import mclb_gain_summary
+
+    lines = ["Fig. 7 (large class) measured saturation / bounds:"]
+    lines += [
+        f"  {b.topology:<16} {b.routing:<5} {b.measured_saturation:.3f} "
+        f"(cut {b.cut_bound:.3f}, occ {b.occupancy_bound:.3f})"
+        for b in bars
+    ]
+    gains = mclb_gain_summary(bars)
+    lines.append(f"MCLB/NDBT gains: { {k: round(v, 2) for k, v in gains.items()} }")
+    return "\n".join(lines)
+
+
+def _run_fig10(runner, fast, **kw):
+    from .fig10 import fig10_curves
+
+    return fig10_curves(
+        allow_generate=False, runner=runner,
+        warmup=250 if fast else 400, measure=800 if fast else 1500, **kw,
+    )
+
+
+def _summarize_fig10(res):
+    lines = ["Fig. 10 (shuffle traffic) saturation (packets/node/ns):"]
+    for name, curve in sorted(
+        res.curves.items(), key=lambda kv: -kv[1].saturation_throughput_ns
+    ):
+        lines.append(f"  {name:<18} {curve.saturation_throughput_ns:.3f}")
+    return "\n".join(lines)
+
+
+def _run_fig11(runner, fast, **kw):
+    from .fig11 import fig11_points
+
+    return fig11_points(
+        allow_generate=False, runner=runner,
+        warmup=200 if fast else 300, measure=600 if fast else 1000, **kw,
+    )
+
+
+def _summarize_fig11(res):
+    lines = ["Fig. 11 (48 routers) saturation (packets/node/ns):"]
+    lines += [
+        f"  {p.link_class:<7} {p.name:<18} {p.saturation_packets_node_ns:.3f}"
+        for p in res.points
+    ]
+    for cls in ("small", "medium", "large"):
+        lines.append(f"NS gain ({cls}): {res.ns_gain(cls):.2f}x")
+    return "\n".join(lines)
+
+
+def _run_report(runner, fast, **kw):
+    from .report import generate_report
+
+    return generate_report(fast=fast, runner=runner, **kw)
+
+
+EXPERIMENTS: Dict[str, ExperimentSpec] = {
+    spec.name: spec
+    for spec in (
+        ExperimentSpec(
+            "table2", "Table II topology metrics at 20 routers",
+            _run_table2, str,
+        ),
+        ExperimentSpec(
+            "fig1", "latency vs saturation-throughput frontier",
+            _run_fig1,
+            lambda r: f"Pareto frontier: {r['pareto_front']} ({r['points']} points)",
+        ),
+        ExperimentSpec(
+            "fig6-coherence", "synthetic uniform-random traffic sweeps",
+            _run_fig6("coherence"), _summarize_fig6,
+        ),
+        ExperimentSpec(
+            "fig6-memory", "memory (MC hot-spot) traffic sweeps",
+            _run_fig6("memory"), _summarize_fig6,
+        ),
+        ExperimentSpec(
+            "fig7", "topology-vs-routing isolation, large class",
+            _run_fig7, _summarize_fig7,
+        ),
+        ExperimentSpec(
+            "fig10", "shuffle traffic incl. NS-ShufOpt",
+            _run_fig10, _summarize_fig10,
+        ),
+        ExperimentSpec(
+            "fig11", "48-router scalability saturation search",
+            _run_fig11, _summarize_fig11,
+        ),
+        ExperimentSpec(
+            "report", "full generated experiment report (EXPERIMENTS.md body)",
+            _run_report, str,
+        ),
+    )
+}
+
+
+def get_experiment(name: str) -> ExperimentSpec:
+    try:
+        return EXPERIMENTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}"
+        ) from None
+
+
+def list_experiments() -> List[Tuple[str, str]]:
+    return [(s.name, s.description) for s in EXPERIMENTS.values()]

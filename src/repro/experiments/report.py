@@ -9,7 +9,7 @@ plus hand-written commentary.
 from __future__ import annotations
 
 import io
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from .fig1 import fig1_points, pareto_front
 from .fig6 import fig6_curves
@@ -18,8 +18,14 @@ from .fig8 import fig8_results
 from .fig9 import fig9_rows, ns_large_vs_small_dynamic
 from .table2 import PAPER_TABLE2_20, table2
 
+if TYPE_CHECKING:
+    from ..runner import Runner
 
-def generate_report(fast: bool = True) -> str:
+
+def generate_report(fast: bool = True, runner: Optional["Runner"] = None) -> str:
+    """Render the full report; a :class:`~repro.runner.Runner` fans the
+    simulation-heavy sections (Figs. 6 and 7) across workers and caches
+    every sim point, making regeneration incremental."""
     out = io.StringIO()
     w = out.write
 
@@ -63,7 +69,8 @@ def generate_report(fast: bool = True) -> str:
     measure = 800 if fast else 1500
     w("## Fig. 6 — synthetic traffic saturation (packets/node/ns)\n\n")
     for kind in ("coherence", "memory"):
-        res = fig6_curves(kind, allow_generate=False, warmup=250, measure=measure)
+        res = fig6_curves(kind, allow_generate=False, warmup=250, measure=measure,
+                          runner=runner)
         w(f"### {kind}\n\n| topology | saturation |\n|---|---|\n")
         for name, sat in res.saturation_ranking():
             w(f"| {name} | {sat:.3f} |\n")
@@ -78,7 +85,7 @@ def generate_report(fast: bool = True) -> str:
     # ---- Fig. 7 ---------------------------------------------------------------
     w("## Fig. 7 — topology vs routing isolation (large class)\n\n")
     bars = fig7_bars("large", allow_generate=False, warmup=200,
-                     measure=600 if fast else 1000)
+                     measure=600 if fast else 1000, runner=runner)
     w("| topology | routing | measured | cut bound | occ bound | routed bound |\n")
     w("|---|---|---|---|---|---|\n")
     for b in bars:

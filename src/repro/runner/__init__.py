@@ -1,0 +1,43 @@
+"""Parallel experiment runner with content-addressed result caching.
+
+The runner is the execution backbone of the reproduction: independent
+simulation points, saturation searches, and artifact generations become
+pure-data tasks that are hashed, looked up in an on-disk cache, fanned
+out across worker processes, and reassembled in deterministic order —
+so parallel results are bit-identical to serial, and reruns resume
+instead of recomputing.
+
+Layers (see ``docs/ARCHITECTURE.md``):
+
+* :mod:`~repro.runner.hashing` — canonical config hashing (cache keys);
+* :mod:`~repro.runner.cache` — atomic JSON store, hit/miss accounting;
+* :mod:`~repro.runner.executor` — process-pool map + seed derivation;
+* :mod:`~repro.runner.tasks` — payload codecs and worker entry points;
+* :mod:`~repro.runner.orchestrator` — the :class:`Runner` façade;
+* :mod:`~repro.runner.artifacts` — the frozen-artifact pipeline.
+"""
+
+from .cache import MISS, CacheStats, ResultCache, default_cache_dir
+from .executor import ParallelExecutor, default_workers, derive_seed
+from .hashing import canonical_json, config_hash
+from .orchestrator import CurveJob, Runner, SaturationJob, task_key
+from .tasks import TrafficSpec, decode_table, encode_table
+
+__all__ = [
+    "Runner",
+    "CurveJob",
+    "SaturationJob",
+    "TrafficSpec",
+    "ResultCache",
+    "CacheStats",
+    "MISS",
+    "ParallelExecutor",
+    "derive_seed",
+    "default_workers",
+    "default_cache_dir",
+    "config_hash",
+    "canonical_json",
+    "task_key",
+    "encode_table",
+    "decode_table",
+]

@@ -1,0 +1,120 @@
+"""Content-addressed on-disk result cache.
+
+Layout: ``<root>/<key[:2]>/<key>.json`` where ``key`` is the SHA-256 of
+the task's canonical configuration (:mod:`repro.runner.hashing`).  Values
+are plain JSON documents produced by the task codecs in
+:mod:`repro.runner.tasks`.
+
+Robustness over cleverness:
+
+* writes are atomic (temp file + ``os.replace``) so a killed run never
+  leaves a half-written entry;
+* a corrupted or unreadable entry is treated as a miss, counted in
+  ``stats.errors``, and deleted so the recomputed value replaces it;
+* hit/miss/put counters accumulate on the cache object for reporting
+  (``repro run`` prints them after every experiment).
+
+The default root is ``$REPRO_CACHE_DIR`` if set, else ``.repro-cache``
+under the current working directory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+#: Sentinel distinguishing "no entry" from a cached ``None``.
+MISS = object()
+
+
+def default_cache_dir() -> str:
+    return os.environ.get("REPRO_CACHE_DIR") or os.path.join(
+        os.getcwd(), ".repro-cache"
+    )
+
+
+@dataclass
+class CacheStats:
+    """Counters for one cache lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    errors: int = 0
+
+    def merge(self, other: "CacheStats") -> None:
+        self.hits += other.hits
+        self.misses += other.misses
+        self.puts += other.puts
+        self.errors += other.errors
+
+    def summary(self) -> str:
+        total = self.hits + self.misses
+        rate = (100.0 * self.hits / total) if total else 0.0
+        return (
+            f"cache: {self.hits} hits / {self.misses} misses "
+            f"({rate:.0f}% hit rate), {self.puts} writes, {self.errors} errors"
+        )
+
+
+class ResultCache:
+    """JSON value store addressed by content hash."""
+
+    def __init__(self, root: Optional[str] = None):
+        self.root = root or default_cache_dir()
+        self.stats = CacheStats()
+        os.makedirs(self.root, exist_ok=True)
+
+    def path_for(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], f"{key}.json")
+
+    def get(self, key: str) -> Any:
+        """The cached value for ``key``, or :data:`MISS`."""
+        path = self.path_for(key)
+        try:
+            with open(path) as fh:
+                doc = json.load(fh)
+            value = doc["value"]
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return MISS
+        except (json.JSONDecodeError, KeyError, TypeError, OSError):
+            # Corrupted entry: drop it and recompute.
+            self.stats.errors += 1
+            self.stats.misses += 1
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return MISS
+        self.stats.hits += 1
+        return value
+
+    def put(self, key: str, value: Any) -> None:
+        """Atomically store ``value`` (must be JSON-serializable)."""
+        path = self.path_for(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=os.path.dirname(path), prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump({"key": key, "value": value}, fh)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.puts += 1
+
+    def delete(self, key: str) -> None:
+        """Drop an entry (e.g. a cached failure that should be retried)."""
+        try:
+            os.unlink(self.path_for(key))
+        except OSError:
+            pass

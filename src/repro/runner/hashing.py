@@ -1,0 +1,60 @@
+"""Canonical serialization and content hashing for cache keys.
+
+Cache keys are SHA-256 digests of a *canonical* JSON encoding: dict keys
+sorted, tuples and sets normalized to lists, numpy scalars unwrapped and
+arrays expanded, dataclasses flattened to ``{class: ..., fields: ...}``.
+Two configurations that compare equal always hash equal, regardless of
+dict insertion order or int-vs-numpy-int typing, so a cache entry written
+by one process is found by any other.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Any
+
+import numpy as np
+
+
+def canonicalize(obj: Any) -> Any:
+    """Reduce ``obj`` to plain JSON types with a deterministic layout."""
+    if obj is None or isinstance(obj, (bool, str)):
+        return obj
+    if isinstance(obj, (int, np.integer)):
+        return int(obj)
+    if isinstance(obj, (float, np.floating)):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return {"__ndarray__": list(obj.shape), "data": obj.tolist()}
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            "__dataclass__": type(obj).__name__,
+            "fields": {
+                f.name: canonicalize(getattr(obj, f.name))
+                for f in dataclasses.fields(obj)
+            },
+        }
+    if isinstance(obj, dict):
+        out = {}
+        for k, v in obj.items():
+            if not isinstance(k, str):
+                k = json.dumps(canonicalize(k), sort_keys=True)
+            out[k] = canonicalize(v)
+        return out
+    if isinstance(obj, (list, tuple)):
+        return [canonicalize(v) for v in obj]
+    if isinstance(obj, (set, frozenset)):
+        return sorted(json.dumps(canonicalize(v), sort_keys=True) for v in obj)
+    raise TypeError(f"cannot canonicalize {type(obj).__name__} for hashing")
+
+
+def canonical_json(obj: Any) -> str:
+    """Deterministic JSON text of a canonicalized object."""
+    return json.dumps(canonicalize(obj), sort_keys=True, separators=(",", ":"))
+
+
+def config_hash(obj: Any) -> str:
+    """SHA-256 hex digest of the canonical encoding (the cache key)."""
+    return hashlib.sha256(canonical_json(obj).encode("utf-8")).hexdigest()

@@ -1,0 +1,239 @@
+"""The :class:`Runner`: cache-aware, parallel experiment orchestration.
+
+One object owns the whole execution policy — how many workers, which
+cache, whether to bypass it — and every layer above (sweeps, figures,
+``repro run``, ``scripts/generate_all.py``) routes its work through it:
+
+1. each logical unit of work becomes a pure-data payload
+   (:mod:`repro.runner.tasks`);
+2. the payload's content hash is looked up in the on-disk cache;
+3. only the misses are fanned out over the process pool;
+4. fresh results are written back and everything is returned in the
+   original submission order.
+
+Because payloads fully determine results and the cache is keyed by
+content, a rerun of any experiment resumes where the last one stopped —
+resumability falls out of the design rather than being bolted on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..routing.tables import RoutingTable
+from ..sim.sweep import SweepResult, assemble_curve
+from . import tasks
+from .cache import MISS, CacheStats, ResultCache
+from .executor import ParallelExecutor, default_workers
+from .hashing import config_hash
+
+
+def task_key(task_name: str, payload: Dict[str, Any]) -> str:
+    """The cache key of one task: hash of its kind plus configuration."""
+    return config_hash({"task": task_name, "payload": payload})
+
+
+@dataclass
+class CurveJob:
+    """One latency-throughput curve to produce (a batch of sim points)."""
+
+    table: RoutingTable
+    traffic: tasks.TrafficSpec
+    rates: Tuple[float, ...]
+    name: str
+    link_class: Optional[str] = None
+    warmup: int = 500
+    measure: int = 2000
+    seed: int = 0
+    stop_after_saturation: bool = True
+    sim_kw: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class SaturationJob:
+    """One binary-search saturation probe to run."""
+
+    table: RoutingTable
+    traffic: tasks.TrafficSpec
+    name: str
+    lo: float = 0.01
+    hi: float = 1.0
+    iters: int = 6
+    warmup: int = 400
+    measure: int = 1200
+    seed: int = 0
+    sim_kw: Dict[str, Any] = field(default_factory=dict)
+
+
+class Runner:
+    """Parallel, cached executor for the reproduction's workloads.
+
+    ``parallel=1`` (the default) runs everything inline; results are
+    identical at any worker count.  ``no_cache=True`` disables the disk
+    cache entirely (the ``--no-cache`` escape hatch).
+    """
+
+    def __init__(
+        self,
+        parallel: int = 1,
+        cache_dir: Optional[str] = None,
+        no_cache: bool = False,
+    ):
+        if parallel <= 0:
+            parallel = default_workers()
+        self.executor = ParallelExecutor(parallel)
+        self.cache: Optional[ResultCache] = (
+            None if no_cache else ResultCache(cache_dir)
+        )
+
+    # -- introspection -------------------------------------------------------
+    @property
+    def parallel(self) -> int:
+        return self.executor.workers
+
+    @property
+    def stats(self) -> CacheStats:
+        return self.cache.stats if self.cache is not None else CacheStats()
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent; the cache needs none)."""
+        self.executor.close()
+
+    def __enter__(self) -> "Runner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- the core loop -------------------------------------------------------
+    def run_tasks(self, task_name: str, payloads: Sequence[Dict[str, Any]]) -> List[Any]:
+        """Run a batch of same-kind tasks: cache lookup, fan out misses,
+        write back, return decoded results in submission order.
+
+        Results that report their own failure (``{"ok": false, ...}``,
+        the convention of failure-isolating tasks like ``artifact``) are
+        returned but never cached — a retry must actually retry.
+        """
+        fn, decode = tasks.TASK_FUNCTIONS[task_name]
+        payloads = list(payloads)
+        keys = [task_key(task_name, p) for p in payloads]
+        results: List[Any] = [MISS] * len(payloads)
+        if self.cache is not None:
+            for i, key in enumerate(keys):
+                results[i] = self.cache.get(key)
+        todo = [i for i, r in enumerate(results) if r is MISS]
+        if todo:
+            fresh = self.executor.map(fn, [payloads[i] for i in todo])
+            for i, value in zip(todo, fresh):
+                results[i] = value
+                failed = isinstance(value, dict) and value.get("ok") is False
+                if self.cache is not None and not failed:
+                    self.cache.put(keys[i], value)
+        return [decode(r) for r in results]
+
+    # -- simulation workloads ------------------------------------------------
+    def curves(self, jobs: Sequence[CurveJob]) -> List[SweepResult]:
+        """Produce many curves at once, fanning (curve, rate) sim points
+        across the pool in waves.
+
+        Serial sweeps stop at the first saturated rate, so blindly
+        computing every rate of every curve would waste work past
+        saturation.  Instead each wave submits the next rate(s) of every
+        still-active curve — enough per curve to keep the pool busy —
+        and a curve retires as soon as its ordered prefix saturates.
+        With one worker this degenerates to exactly the serial sweep's
+        work; at any worker count the assembled curves are identical
+        (measurements are independent and classification is shared with
+        :func:`repro.sim.sweep.assemble_curve`).
+        """
+        jobs = list(jobs)
+        collected: List[List[Any]] = [[] for _ in jobs]  # stats per job, in rate order
+        cursor = [0] * len(jobs)
+        active = [bool(job.rates) for job in jobs]
+        while any(active):
+            live = [i for i, a in enumerate(active) if a]
+            # Enough tasks per wave to occupy every worker, but no more
+            # speculation past a potential saturation point than needed.
+            per_job = max(1, -(-self.executor.workers // len(live)))
+            wave: List[Tuple[int, Dict[str, Any]]] = []
+            for i in live:
+                job = jobs[i]
+                for rate in job.rates[cursor[i]: cursor[i] + per_job]:
+                    wave.append((i, tasks.sim_point_payload(
+                        job.table, job.traffic, rate,
+                        job.warmup, job.measure, job.seed, job.sim_kw,
+                    )))
+            stats_list = self.run_tasks("sim_point", [p for _, p in wave])
+            for (i, _), stats in zip(wave, stats_list):
+                collected[i].append(stats)
+                cursor[i] += 1
+            # Retire curves whose computed prefix already saturates (or
+            # whose rates ran out); assemble_curve re-truncates later.
+            for i in live:
+                job = jobs[i]
+                partial = assemble_curve(
+                    job.rates, collected[i],
+                    name=job.name, link_class=job.link_class,
+                    stop_after_saturation=job.stop_after_saturation,
+                )
+                saturated = bool(partial.points) and partial.points[-1].saturated
+                if cursor[i] >= len(job.rates) or (
+                    job.stop_after_saturation and saturated
+                ):
+                    active[i] = False
+        return [
+            assemble_curve(
+                job.rates, collected[i],
+                name=job.name, link_class=job.link_class,
+                stop_after_saturation=job.stop_after_saturation,
+            )
+            for i, job in enumerate(jobs)
+        ]
+
+    def curve(
+        self,
+        table: RoutingTable,
+        traffic: tasks.TrafficSpec,
+        rates: Sequence[float],
+        name: Optional[str] = None,
+        link_class: Optional[str] = None,
+        warmup: int = 500,
+        measure: int = 2000,
+        seed: int = 0,
+        stop_after_saturation: bool = True,
+        **sim_kw,
+    ) -> SweepResult:
+        """Parallel, cached drop-in for
+        :func:`repro.sim.sweep.latency_throughput_curve`."""
+        job = CurveJob(
+            table=table,
+            traffic=traffic,
+            rates=tuple(rates),
+            name=name or table.topology.name,
+            link_class=link_class or table.topology.link_class,
+            warmup=warmup,
+            measure=measure,
+            seed=seed,
+            stop_after_saturation=stop_after_saturation,
+            sim_kw=dict(sim_kw),
+        )
+        return self.curves([job])[0]
+
+    def saturations(self, jobs: Sequence[SaturationJob]) -> List[float]:
+        """Fan whole saturation searches across workers (Figs. 7/11)."""
+        payloads = [
+            tasks.sat_search_payload(
+                j.table, j.traffic, j.lo, j.hi, j.iters,
+                j.warmup, j.measure, j.seed, j.sim_kw,
+            )
+            for j in jobs
+        ]
+        return self.run_tasks("sat_search", payloads)
+
+    # -- experiment-level entry point ---------------------------------------
+    def run_experiment(self, name: str, fast: bool = True, **kwargs) -> Any:
+        """Run a named experiment from the registry through this runner."""
+        from ..experiments.registry import get_experiment
+
+        return get_experiment(name).run(self, fast, **kwargs)

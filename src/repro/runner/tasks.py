@@ -1,0 +1,300 @@
+"""Task payload codecs and the worker-side task functions.
+
+A task is a *pure-data* payload (nested dicts/lists of JSON scalars) plus
+a module-level function that rebuilds the live objects and runs the work.
+Pure data serves three masters at once:
+
+* **transport** — payloads pickle cheaply into worker processes (the
+  live :class:`~repro.sim.traffic.TrafficPattern` closures do not);
+* **caching** — the payload *is* the cache identity: its content hash
+  keys the on-disk result store;
+* **reproducibility** — a payload fully determines its result, so a
+  cached value is interchangeable with a fresh computation.
+
+Two task families cover the simulation workloads: ``sim_point`` (one
+injection-rate sample — the unit fanned out by sweeps) and
+``sat_search`` (one binary-search saturation probe sequence, fanned out
+across topologies in Figs. 7 and 11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..routing.tables import RoutingTable
+from ..sim.network import SimStats
+from ..sim.sweep import find_saturation, run_point
+from ..sim.traffic import (
+    TrafficPattern,
+    bit_complement,
+    hotspot,
+    memory_traffic,
+    neighbor,
+    shuffle_pattern,
+    tornado,
+    transpose,
+    uniform_random,
+)
+from ..topology import Layout, Topology
+
+#: Payload format version; bump to invalidate all cached entries when the
+#: simulator's semantics change.
+TASK_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# Traffic specs: picklable, hashable stand-ins for TrafficPattern closures.
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """A pure-data description of a synthetic traffic pattern."""
+
+    kind: str
+    n_nodes: int = 0
+    rows: int = 0
+    cols: int = 0
+    hotspots: Tuple[int, ...] = ()
+    hot_fraction: float = 0.5
+
+    # -- constructors --------------------------------------------------------
+    @classmethod
+    def uniform(cls, n_nodes: int) -> "TrafficSpec":
+        return cls("uniform", n_nodes=n_nodes)
+
+    @classmethod
+    def memory(cls, layout: Layout) -> "TrafficSpec":
+        return cls("memory", rows=layout.rows, cols=layout.cols)
+
+    @classmethod
+    def shuffle(cls, n_nodes: int) -> "TrafficSpec":
+        return cls("shuffle", n_nodes=n_nodes)
+
+    @classmethod
+    def bit_complement(cls, n_nodes: int) -> "TrafficSpec":
+        return cls("bit_complement", n_nodes=n_nodes)
+
+    @classmethod
+    def transpose(cls, layout: Layout) -> "TrafficSpec":
+        return cls("transpose", rows=layout.rows, cols=layout.cols)
+
+    @classmethod
+    def tornado(cls, layout: Layout) -> "TrafficSpec":
+        return cls("tornado", rows=layout.rows, cols=layout.cols)
+
+    @classmethod
+    def neighbor(cls, layout: Layout) -> "TrafficSpec":
+        return cls("neighbor", rows=layout.rows, cols=layout.cols)
+
+    @classmethod
+    def hotspot(
+        cls, n_nodes: int, hotspots: Tuple[int, ...], hot_fraction: float = 0.5
+    ) -> "TrafficSpec":
+        return cls(
+            "hotspot",
+            n_nodes=n_nodes,
+            hotspots=tuple(sorted(hotspots)),
+            hot_fraction=hot_fraction,
+        )
+
+    # -- (de)serialization ---------------------------------------------------
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "n_nodes": self.n_nodes,
+            "rows": self.rows,
+            "cols": self.cols,
+            "hotspots": list(self.hotspots),
+            "hot_fraction": self.hot_fraction,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "TrafficSpec":
+        return cls(
+            kind=d["kind"],
+            n_nodes=int(d.get("n_nodes", 0)),
+            rows=int(d.get("rows", 0)),
+            cols=int(d.get("cols", 0)),
+            hotspots=tuple(int(h) for h in d.get("hotspots", ())),
+            hot_fraction=float(d.get("hot_fraction", 0.5)),
+        )
+
+    def build(self) -> TrafficPattern:
+        """Materialize the live pattern (closures and all)."""
+        if self.kind == "uniform":
+            return uniform_random(self.n_nodes)
+        if self.kind == "shuffle":
+            return shuffle_pattern(self.n_nodes)
+        if self.kind == "bit_complement":
+            return bit_complement(self.n_nodes)
+        if self.kind == "hotspot":
+            return hotspot(self.n_nodes, list(self.hotspots), self.hot_fraction)
+        layout = Layout(rows=self.rows, cols=self.cols)
+        if self.kind == "memory":
+            return memory_traffic(layout)
+        if self.kind == "transpose":
+            return transpose(layout)
+        if self.kind == "tornado":
+            return tornado(layout)
+        if self.kind == "neighbor":
+            return neighbor(layout)
+        raise ValueError(f"unknown traffic kind {self.kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# Routing-table codec.
+# ---------------------------------------------------------------------------
+
+def encode_table(table: RoutingTable) -> Dict[str, Any]:
+    """A deterministic, JSON-clean description of a routing table.
+
+    Sorted entry lists make the encoding canonical, so the same routed
+    configuration always hashes to the same cache key.
+    """
+    topo = table.topology
+    return {
+        "layout": [topo.layout.rows, topo.layout.cols],
+        "links": sorted([int(i), int(j)] for i, j in topo.directed_links),
+        "name": topo.name,
+        "link_class": topo.link_class,
+        "next_hop": sorted(
+            [int(n), int(s), int(d), int(nh)]
+            for (n, s, d), nh in table.next_hop.items()
+        ),
+        "flow_vc": sorted(
+            [int(s), int(d), int(vc)] for (s, d), vc in table.flow_vc.items()
+        ),
+        "num_vcs": int(table.num_vcs),
+    }
+
+
+def decode_table(doc: Dict[str, Any]) -> RoutingTable:
+    rows, cols = doc["layout"]
+    topo = Topology(
+        Layout(rows=rows, cols=cols),
+        [(i, j) for i, j in doc["links"]],
+        name=doc.get("name", "topology"),
+        link_class=doc.get("link_class"),
+    )
+    return RoutingTable(
+        topology=topo,
+        next_hop={(n, s, d): nh for n, s, d, nh in doc["next_hop"]},
+        flow_vc={(s, d): vc for s, d, vc in doc["flow_vc"]},
+        num_vcs=int(doc["num_vcs"]),
+    )
+
+
+# ---------------------------------------------------------------------------
+# SimStats codec.
+# ---------------------------------------------------------------------------
+
+def stats_to_dict(stats: SimStats) -> Dict[str, Any]:
+    return asdict(stats)
+
+
+def stats_from_dict(doc: Dict[str, Any]) -> SimStats:
+    return SimStats(
+        cycles=int(doc["cycles"]),
+        offered_packets=int(doc["offered_packets"]),
+        ejected_packets=int(doc["ejected_packets"]),
+        ejected_flits=int(doc["ejected_flits"]),
+        latency_sum=float(doc["latency_sum"]),
+        latency_count=int(doc["latency_count"]),
+        n_nodes=int(doc["n_nodes"]),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Payload builders and worker entry points.
+# ---------------------------------------------------------------------------
+
+def sim_point_payload(
+    table: RoutingTable,
+    traffic: TrafficSpec,
+    rate: float,
+    warmup: int,
+    measure: int,
+    seed: int,
+    sim_kw: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    return {
+        "task": "sim_point",
+        "version": TASK_VERSION,
+        "table": encode_table(table),
+        "traffic": traffic.as_dict(),
+        "rate": float(rate),
+        "warmup": int(warmup),
+        "measure": int(measure),
+        "seed": int(seed),
+        "sim_kw": dict(sim_kw or {}),
+    }
+
+
+def sim_point_task(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker entry: one injection-rate sample, stats as plain JSON."""
+    table = decode_table(payload["table"])
+    traffic = TrafficSpec.from_dict(payload["traffic"]).build()
+    stats = run_point(
+        table,
+        traffic,
+        payload["rate"],
+        warmup=payload["warmup"],
+        measure=payload["measure"],
+        seed=payload["seed"],
+        **payload.get("sim_kw", {}),
+    )
+    return stats_to_dict(stats)
+
+
+def sat_search_payload(
+    table: RoutingTable,
+    traffic: TrafficSpec,
+    lo: float,
+    hi: float,
+    iters: int,
+    warmup: int,
+    measure: int,
+    seed: int,
+    sim_kw: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    return {
+        "task": "sat_search",
+        "version": TASK_VERSION,
+        "table": encode_table(table),
+        "traffic": traffic.as_dict(),
+        "lo": float(lo),
+        "hi": float(hi),
+        "iters": int(iters),
+        "warmup": int(warmup),
+        "measure": int(measure),
+        "seed": int(seed),
+        "sim_kw": dict(sim_kw or {}),
+    }
+
+
+def sat_search_task(payload: Dict[str, Any]) -> float:
+    """Worker entry: one full binary-search saturation probe."""
+    table = decode_table(payload["table"])
+    traffic = TrafficSpec.from_dict(payload["traffic"]).build()
+    return float(
+        find_saturation(
+            table,
+            traffic,
+            lo=payload["lo"],
+            hi=payload["hi"],
+            iters=payload["iters"],
+            warmup=payload["warmup"],
+            measure=payload["measure"],
+            seed=payload["seed"],
+            **payload.get("sim_kw", {}),
+        )
+    )
+
+
+#: Task-name -> (worker function, result decoder).  The decoder maps the
+#: JSON value (fresh or cached) back to the caller-facing object.
+TASK_FUNCTIONS = {
+    "sim_point": (sim_point_task, stats_from_dict),
+    "sat_search": (sat_search_task, float),
+}

@@ -96,6 +96,57 @@ def run_point(
     return sim.run(warmup, measure)
 
 
+def classify_point(
+    rate: float, stats: SimStats, zero_load: Optional[float]
+) -> SweepPoint:
+    """Turn one measurement into a :class:`SweepPoint`.
+
+    Shared by the serial sweep below and the parallel runner
+    (:mod:`repro.runner`), so both produce identical curves from
+    identical measurements.
+    """
+    lat = stats.avg_latency_cycles
+    accepted = stats.throughput_packets_node_cycle
+    offered = stats.offered_packets_node_cycle
+    saturated = bool(
+        not np.isfinite(lat)
+        or (zero_load is not None and lat > SATURATION_LATENCY_FACTOR * zero_load)
+        or (offered > 0 and accepted < ACCEPTANCE_FLOOR * offered)
+    )
+    return SweepPoint(
+        offered_rate=rate,
+        avg_latency_cycles=float(lat),
+        throughput_packets_node_cycle=accepted,
+        saturated=saturated,
+    )
+
+
+def assemble_curve(
+    rates: Sequence[float],
+    stats_list: Sequence[SimStats],
+    name: str,
+    link_class: Optional[str],
+    stop_after_saturation: bool = True,
+) -> SweepResult:
+    """Build a :class:`SweepResult` from per-rate measurements.
+
+    Applies the same zero-load tracking and early-stop truncation as the
+    serial sweep, so a curve assembled from independently-computed (or
+    cached) points is bit-identical to one swept in-process.
+    """
+    result = SweepResult(name=name, link_class=link_class)
+    zero_load: Optional[float] = None
+    for rate, stats in zip(rates, stats_list):
+        lat = stats.avg_latency_cycles
+        if zero_load is None and np.isfinite(lat):
+            zero_load = lat
+        point = classify_point(rate, stats, zero_load)
+        result.points.append(point)
+        if point.saturated and stop_after_saturation:
+            break
+    return result
+
+
 def latency_throughput_curve(
     table: RoutingTable,
     traffic: TrafficPattern,
@@ -118,25 +169,11 @@ def latency_throughput_curve(
         stats = run_point(
             table, traffic, rate, warmup=warmup, measure=measure, seed=seed, **sim_kw
         )
-        lat = stats.avg_latency_cycles
-        if zero_load is None and np.isfinite(lat):
-            zero_load = lat
-        accepted = stats.throughput_packets_node_cycle
-        offered = stats.offered_packets_node_cycle
-        saturated = bool(
-            not np.isfinite(lat)
-            or (zero_load is not None and lat > SATURATION_LATENCY_FACTOR * zero_load)
-            or (offered > 0 and accepted < ACCEPTANCE_FLOOR * offered)
-        )
-        result.points.append(
-            SweepPoint(
-                offered_rate=rate,
-                avg_latency_cycles=float(lat),
-                throughput_packets_node_cycle=accepted,
-                saturated=saturated,
-            )
-        )
-        if saturated and stop_after_saturation:
+        if zero_load is None and np.isfinite(stats.avg_latency_cycles):
+            zero_load = stats.avg_latency_cycles
+        point = classify_point(rate, stats, zero_load)
+        result.points.append(point)
+        if point.saturated and stop_after_saturation:
             break
     return result
 

@@ -95,6 +95,7 @@ class TestFig4:
         assert len(u) + len(v) == 20
 
 
+@pytest.mark.slow
 class TestFig5:
     def test_reduced_curves_structure(self):
         res = fig5_curves(time_limit=6.0)

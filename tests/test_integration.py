@@ -160,6 +160,7 @@ class TestFullSystemPipeline:
         assert res.avg_packet_latency_ns > 0
 
 
+@pytest.mark.slow
 class TestSaturationConsistency:
     def test_measured_saturation_below_analytical(self):
         """For every frozen design: simulated saturation must respect the

@@ -1,0 +1,295 @@
+"""Runner subsystem: parallel==serial, caching, corruption fallback."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.runner import (
+    MISS,
+    CurveJob,
+    ParallelExecutor,
+    ResultCache,
+    Runner,
+    SaturationJob,
+    TrafficSpec,
+    canonical_json,
+    config_hash,
+    decode_table,
+    derive_seed,
+    encode_table,
+    task_key,
+)
+from repro.runner import tasks as runner_tasks
+from repro.runner.artifacts import _BUILDERS, generate_all
+from repro.routing import assign_vcs, build_routing_table, ndbt_route
+from repro.sim import find_saturation, latency_throughput_curve, uniform_random
+from repro.topology import Layout, Topology
+
+RATES = (0.02, 0.06, 0.12, 0.2, 0.3)
+BUDGET = dict(warmup=80, measure=200, seed=0)
+
+
+@pytest.fixture(scope="module")
+def table():
+    """A small 2x3 mesh: cheap to simulate, real enough to saturate."""
+    layout = Layout(rows=2, cols=3)
+    edges = [(0, 1), (1, 2), (3, 4), (4, 5), (0, 3), (1, 4), (2, 5)]
+    topo = Topology.from_undirected(layout, edges, name="mesh2x3", link_class="small")
+    routes = ndbt_route(topo, seed=0)
+    return build_routing_table(routes, assign_vcs(routes, seed=0))
+
+
+@pytest.fixture(scope="module")
+def serial_curve(table):
+    return latency_throughput_curve(
+        table, uniform_random(6), RATES, name="mesh2x3", link_class="small", **BUDGET
+    )
+
+
+# ---------------------------------------------------------------------------
+# hashing
+# ---------------------------------------------------------------------------
+
+def test_config_hash_ignores_dict_order_and_numpy_typing():
+    a = {"x": 1, "y": [1, 2, 3], "z": {"k": 2.5}}
+    b = {"z": {"k": np.float64(2.5)}, "y": (np.int64(1), 2, 3), "x": np.int32(1)}
+    assert config_hash(a) == config_hash(b)
+    assert config_hash(a) != config_hash({**a, "x": 2})
+
+
+def test_canonical_json_rejects_unhashable_types():
+    with pytest.raises(TypeError):
+        canonical_json(object())
+
+
+def test_derive_seed_deterministic_and_distinct():
+    assert derive_seed(0, "a", 1) == derive_seed(0, "a", 1)
+    seeds = {derive_seed(0, "point", i) for i in range(100)}
+    assert len(seeds) == 100
+    assert all(0 <= s < 2**31 for s in seeds)
+    assert derive_seed(1, "point", 0) != derive_seed(0, "point", 0)
+
+
+# ---------------------------------------------------------------------------
+# codecs
+# ---------------------------------------------------------------------------
+
+def test_table_codec_roundtrip(table):
+    doc = encode_table(table)
+    back = decode_table(json.loads(json.dumps(doc)))
+    assert back.next_hop == table.next_hop
+    assert back.flow_vc == table.flow_vc
+    assert back.num_vcs == table.num_vcs
+    assert sorted(back.topology.directed_links) == sorted(
+        table.topology.directed_links
+    )
+    assert encode_table(back) == doc  # canonical: stable under roundtrip
+
+
+@pytest.mark.parametrize("kind", ["uniform", "shuffle", "bit_complement"])
+def test_traffic_spec_roundtrip_n_nodes(kind):
+    spec = TrafficSpec(kind=kind, n_nodes=6)
+    back = TrafficSpec.from_dict(json.loads(json.dumps(spec.as_dict())))
+    assert back == spec
+    pattern = back.build()
+    rng = np.random.default_rng(0)
+    for src in range(6):
+        d = pattern.destination(src, rng)
+        assert 0 <= d < 6 and d != src
+
+
+def test_traffic_spec_layout_kinds():
+    layout = Layout(rows=2, cols=3)
+    for spec in (
+        TrafficSpec.memory(layout),
+        TrafficSpec.transpose(layout),
+        TrafficSpec.tornado(layout),
+        TrafficSpec.neighbor(layout),
+    ):
+        pattern = TrafficSpec.from_dict(spec.as_dict()).build()
+        rng = np.random.default_rng(1)
+        assert 0 <= pattern.destination(0, rng) < 6
+
+
+# ---------------------------------------------------------------------------
+# parallel == serial
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_parallel_curve_bit_identical_to_serial(table, serial_curve, workers, tmp_path):
+    runner = Runner(parallel=workers, cache_dir=str(tmp_path))
+    parallel = runner.curve(
+        table, TrafficSpec.uniform(6), RATES,
+        name="mesh2x3", link_class="small", **BUDGET,
+    )
+    assert parallel == serial_curve
+
+
+def test_parallel_saturation_identical_to_serial(table, tmp_path):
+    serial = find_saturation(
+        table, uniform_random(6), warmup=80, measure=200, seed=0
+    )
+    runner = Runner(parallel=2, cache_dir=str(tmp_path))
+    [sat] = runner.saturations([
+        SaturationJob(
+            table=table, traffic=TrafficSpec.uniform(6), name="mesh2x3",
+            warmup=80, measure=200, seed=0,
+        )
+    ])
+    assert sat == serial
+
+
+def test_executor_serial_fallback_matches():
+    ex1 = ParallelExecutor(workers=1)
+    ex4 = ParallelExecutor(workers=4)
+    payloads = list(range(20))
+    assert ex1.map(_square, payloads) == ex4.map(_square, payloads)
+
+
+def _square(x):
+    return x * x
+
+
+# ---------------------------------------------------------------------------
+# caching
+# ---------------------------------------------------------------------------
+
+def test_cache_hit_returns_without_resimulating(table, serial_curve, tmp_path, monkeypatch):
+    kwargs = dict(name="mesh2x3", link_class="small", **BUDGET)
+    first = Runner(parallel=1, cache_dir=str(tmp_path))
+    curve1 = first.curve(table, TrafficSpec.uniform(6), RATES, **kwargs)
+    assert first.stats.hits == 0 and first.stats.misses > 0
+
+    # A fresh Runner on the same cache dir must not simulate at all:
+    # poison the task function so any execution attempt blows up.
+    def boom(payload):
+        raise AssertionError("sim_point executed despite cached result")
+
+    monkeypatch.setitem(
+        runner_tasks.TASK_FUNCTIONS, "sim_point", (boom, runner_tasks.stats_from_dict)
+    )
+    second = Runner(parallel=1, cache_dir=str(tmp_path))
+    curve2 = second.curve(table, TrafficSpec.uniform(6), RATES, **kwargs)
+    assert curve2 == curve1 == serial_curve
+    assert second.stats.misses == 0 and second.stats.hits == first.stats.misses
+
+
+def test_cache_distinguishes_configs(table, tmp_path):
+    runner = Runner(parallel=1, cache_dir=str(tmp_path))
+    runner.curve(table, TrafficSpec.uniform(6), RATES, **BUDGET)
+    runner.curve(table, TrafficSpec.uniform(6), RATES,
+                 warmup=80, measure=200, seed=1)  # different seed
+    assert runner.stats.hits == 0  # nothing shared between the two configs
+
+
+def test_corrupted_cache_entry_falls_back_to_recompute(table, tmp_path):
+    kwargs = dict(name="mesh2x3", link_class="small", **BUDGET)
+    runner = Runner(parallel=1, cache_dir=str(tmp_path))
+    curve1 = runner.curve(table, TrafficSpec.uniform(6), RATES, **kwargs)
+
+    entries = sorted(tmp_path.rglob("*.json"))
+    assert entries
+    entries[0].write_text("{ not json !!")
+    entries[1].write_text(json.dumps({"unexpected": "shape"}))
+
+    again = Runner(parallel=1, cache_dir=str(tmp_path))
+    curve2 = again.curve(table, TrafficSpec.uniform(6), RATES, **kwargs)
+    assert curve2 == curve1
+    assert again.stats.errors == 2  # both bad entries detected...
+    assert again.stats.misses == 2  # ...recomputed...
+    assert again.stats.puts == 2  # ...and rewritten
+
+    third = Runner(parallel=1, cache_dir=str(tmp_path))
+    curve3 = third.curve(table, TrafficSpec.uniform(6), RATES, **kwargs)
+    assert curve3 == curve1 and third.stats.misses == 0
+
+
+def test_no_cache_escape_hatch(table, serial_curve, tmp_path):
+    runner = Runner(parallel=1, cache_dir=str(tmp_path), no_cache=True)
+    curve = runner.curve(
+        table, TrafficSpec.uniform(6), RATES,
+        name="mesh2x3", link_class="small", **BUDGET,
+    )
+    assert curve == serial_curve
+    assert runner.cache is None
+    assert not any(tmp_path.rglob("*.json"))  # nothing written
+
+
+def test_cache_atomicity_sentinel(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    key = config_hash({"probe": 1})
+    assert cache.get(key) is MISS
+    cache.put(key, {"v": None})
+    assert cache.get(key) == {"v": None}  # cached None-bearing values survive
+    assert not [p for p in tmp_path.rglob(".tmp-*")]  # no temp droppings
+
+
+def test_routed_table_disk_cache(table, tmp_path, monkeypatch):
+    from repro.experiments import registry
+
+    topo = table.topology
+    first = Runner(parallel=1, cache_dir=str(tmp_path))
+    t1 = registry.routed_table(
+        topo, registry.NDBT, seed=0, use_cache=False, runner=first
+    )
+    assert first.stats.puts == 1
+
+    # A fresh process must get the table from disk without re-routing.
+    def boom(*a, **kw):
+        raise AssertionError("routing executed despite cached table")
+
+    monkeypatch.setattr(registry, "ndbt_route", boom)
+    second = Runner(parallel=1, cache_dir=str(tmp_path))
+    t2 = registry.routed_table(
+        topo, registry.NDBT, seed=0, use_cache=False, runner=second
+    )
+    assert second.stats.hits == 1
+    assert t2.next_hop == t1.next_hop
+    assert t2.flow_vc == t1.flow_vc
+    assert t2.num_vcs == t1.num_vcs
+    t2.validate()
+
+    # A different seed is a different configuration (no false hits).
+    monkeypatch.undo()
+    third = Runner(parallel=1, cache_dir=str(tmp_path))
+    registry.routed_table(topo, registry.NDBT, seed=1, use_cache=False, runner=third)
+    assert third.stats.hits == 0
+
+
+# ---------------------------------------------------------------------------
+# artifact orchestration (builders stubbed: the real ones run for hours)
+# ---------------------------------------------------------------------------
+
+def test_generate_all_resumes_and_records_failures(tmp_path, monkeypatch):
+    calls = []
+
+    def fake_recon(payload):
+        calls.append(payload["link_class"])
+        if payload["signature"][0] == 36:  # Kite-Large + ButterDonut rows
+            raise RuntimeError("synthetic failure")
+        return {"edges": [[0, 1]], "cost": 0.0}
+
+    monkeypatch.setitem(_BUILDERS, "recon", fake_recon)
+    runner = Runner(parallel=1, cache_dir=str(tmp_path / "cache"))
+    out = tmp_path / "gen"
+    logs = []
+    counts = generate_all(str(out), runner=runner, only=["experts20"],
+                          log=logs.append)
+    assert counts == {"done": 3, "skipped": 0, "failed": 2}
+    frozen = json.loads((out / "experts20.json").read_text())
+    assert set(frozen) == {"Kite-Small", "Kite-Medium", "DoubleButterfly"}
+
+    # Rerun: finished entries skip, failures retry (cache was evicted).
+    calls.clear()
+    counts2 = generate_all(str(out), runner=runner, only=["experts20"],
+                           log=logs.append)
+    assert counts2 == {"done": 0, "skipped": 3, "failed": 2}
+    assert len(calls) == 2  # only the failed tasks re-ran
+
+
+def test_artifact_cache_key_matches_runner_keys():
+    payload = {"kind": "recon", "version": 1}
+    assert task_key("artifact", payload) == task_key("artifact", dict(payload))
+    assert task_key("artifact", payload) != task_key("sim_point", payload)

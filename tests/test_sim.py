@@ -104,6 +104,7 @@ class TestBasicSimulation:
         assert slow.avg_latency_cycles > base.avg_latency_cycles + 3
 
 
+@pytest.mark.slow
 class TestSaturation:
     def test_saturation_below_routed_bound(self, ft_table):
         """Input-queued networks saturate below the analytical routed
