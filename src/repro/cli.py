@@ -12,9 +12,11 @@ Commands mirror the library's pipeline:
 ``simulate``, ``run``, and ``report`` accept the runner flags
 ``--parallel N`` (fan sim points across N worker processes; 0 = all
 cores), ``--cache-dir PATH`` (on-disk result cache location, default
-``$REPRO_CACHE_DIR`` or ``.repro-cache``), and ``--no-cache`` (bypass
-the cache entirely).  Results are bit-identical at any worker count; a
-cached rerun skips simulation outright.  See ``docs/CLI.md``.
+``$REPRO_CACHE_DIR`` or ``.repro-cache``), ``--no-cache`` (bypass the
+cache entirely), and ``--engine fast|reference`` (flat-array fast
+engine, the default, or the reference oracle — identical results
+either way).  Results are bit-identical at any worker count; a cached
+rerun skips simulation outright.  See ``docs/CLI.md``.
 """
 
 from __future__ import annotations
@@ -120,21 +122,63 @@ def _make_runner(args):
         parallel=args.parallel,
         cache_dir=args.cache_dir,
         no_cache=args.no_cache,
+        engine=getattr(args, "engine", "fast"),
     )
+
+
+#: ``simulate --traffic`` choices (all synthetic generators in repro.sim).
+TRAFFIC_CHOICES = (
+    "uniform", "memory", "shuffle", "bit_complement",
+    "transpose", "tornado", "neighbor", "hotspot",
+)
+
+
+def _traffic_spec(args, topo):
+    """Build the TrafficSpec named by ``--traffic`` for a topology."""
+    from .runner import TrafficSpec
+
+    kind = args.traffic
+    if kind == "uniform":
+        return TrafficSpec.uniform(topo.n)
+    if kind == "memory":
+        return TrafficSpec.memory(topo.layout)
+    if kind == "shuffle":
+        return TrafficSpec.shuffle(topo.n)
+    if kind == "bit_complement":
+        return TrafficSpec.bit_complement(topo.n)
+    if kind == "transpose":
+        return TrafficSpec.transpose(topo.layout)
+    if kind == "tornado":
+        return TrafficSpec.tornado(topo.layout)
+    if kind == "neighbor":
+        return TrafficSpec.neighbor(topo.layout)
+    if kind == "hotspot":
+        if args.hotspots:
+            try:
+                spots = tuple(int(h) for h in args.hotspots.split(","))
+            except ValueError:
+                raise SystemExit(
+                    f"--hotspots must be a comma-separated router list, "
+                    f"got {args.hotspots!r}"
+                )
+            bad = [h for h in spots if not 0 <= h < topo.n]
+            if bad:
+                raise SystemExit(
+                    f"--hotspots routers {bad} outside [0, {topo.n}) for "
+                    f"this {topo.n}-router topology"
+                )
+        else:
+            spots = tuple(topo.layout.mc_routers())
+        return TrafficSpec.hotspot(topo.n, spots, args.hot_fraction)
+    raise SystemExit(f"unknown traffic pattern {kind!r}")
 
 
 def cmd_simulate(args) -> int:
     from .experiments.registry import routed_table
-    from .runner import TrafficSpec
 
     topo = _load_or_named(args.topology, args.routers)
     table = routed_table(topo, args.policy, seed=args.seed, use_cache=False)
-    if args.traffic == "uniform":
-        spec = TrafficSpec.uniform(topo.n)
-    elif args.traffic == "memory":
-        spec = TrafficSpec.memory(topo.layout)
-    else:
-        spec = TrafficSpec.shuffle(topo.n)
+    spec = _traffic_spec(args, topo)
     rates = [args.max_rate * (k + 1) / args.points for k in range(args.points)]
     runner = _make_runner(args)
     curve = runner.curve(
@@ -162,6 +206,9 @@ def cmd_run(args) -> int:
         print(f"{'experiment':<16} description")
         for name, desc in list_experiments():
             print(f"{name:<16} {desc}")
+        print()
+        print("sim engines: fast (default) | reference  (--engine)")
+        print(f"simulate traffic patterns: {', '.join(TRAFFIC_CHOICES)}")
         return 0
     runner = _make_runner(args)
     names = (
@@ -224,6 +271,11 @@ def _add_runner_flags(parser: argparse.ArgumentParser) -> None:
         "--no-cache", action="store_true",
         help="bypass the result cache: recompute everything, store nothing",
     )
+    parser.add_argument(
+        "--engine", choices=("fast", "reference"), default="fast",
+        help="simulation engine: the flat-array fast engine (default) or "
+             "the reference oracle; both produce identical results",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -263,8 +315,12 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("topology")
     s.add_argument("--routers", type=int, default=20)
     s.add_argument("--policy", choices=("mclb", "ndbt"), default="ndbt")
-    s.add_argument("--traffic", choices=("uniform", "memory", "shuffle"),
-                   default="uniform")
+    s.add_argument("--traffic", choices=TRAFFIC_CHOICES, default="uniform")
+    s.add_argument("--hotspots", default=None, metavar="R1,R2,...",
+                   help="hotspot routers for --traffic hotspot "
+                        "(default: the MC columns)")
+    s.add_argument("--hot-fraction", type=float, default=0.5,
+                   help="fraction of hotspot traffic aimed at --hotspots")
     s.add_argument("--link-class", default=None)
     s.add_argument("--max-rate", type=float, default=0.4)
     s.add_argument("--points", type=int, default=8)

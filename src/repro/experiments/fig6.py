@@ -55,11 +55,14 @@ def fig6_curves(
     seed: int = 0,
     allow_generate: bool = True,
     runner: Optional["Runner"] = None,
+    engine: Optional[str] = None,
 ) -> Fig6Result:
     """With a :class:`~repro.runner.Runner`, every (topology, rate) sim
     point fans out across workers and lands in the result cache; without
     one, the original serial sweep runs.  Curves are identical either
-    way."""
+    way.  ``engine`` pins the simulation engine ("fast"/"reference");
+    ``None`` uses the runner's default (or "fast" serially) — both
+    engines produce identical curves."""
     from ..runner import TrafficSpec
 
     layout = standard_layout(n_routers)
@@ -85,12 +88,15 @@ def fig6_curves(
             CurveJob(
                 table=table, traffic=spec, rates=rates, name=entry.name,
                 link_class=cls, warmup=warmup, measure=measure, seed=seed,
+                engine=engine,
             )
             for cls, entry, table in cast
         ]
         for (cls, entry, _), curve in zip(cast, runner.curves(jobs)):
             curves[entry.name] = curve
     else:
+        from ..sim.fastnet import DEFAULT_ENGINE
+
         traffic = spec.build()
         for cls, entry, table in cast:
             curves[entry.name] = latency_throughput_curve(
@@ -102,5 +108,6 @@ def fig6_curves(
                 warmup=warmup,
                 measure=measure,
                 seed=seed,
+                engine=engine or DEFAULT_ENGINE,
             )
     return Fig6Result(traffic=traffic_kind, curves=curves)

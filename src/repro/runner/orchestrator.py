@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..routing.tables import RoutingTable
+from ..sim.fastnet import DEFAULT_ENGINE
 from ..sim.sweep import SweepResult, assemble_curve
 from . import tasks
 from .cache import MISS, CacheStats, ResultCache
@@ -48,6 +49,8 @@ class CurveJob:
     seed: int = 0
     stop_after_saturation: bool = True
     sim_kw: Dict[str, Any] = field(default_factory=dict)
+    #: Simulation engine ("fast"/"reference"); None = the runner's default.
+    engine: Optional[str] = None
 
 
 @dataclass
@@ -64,6 +67,8 @@ class SaturationJob:
     measure: int = 1200
     seed: int = 0
     sim_kw: Dict[str, Any] = field(default_factory=dict)
+    #: Simulation engine ("fast"/"reference"); None = the runner's default.
+    engine: Optional[str] = None
 
 
 class Runner:
@@ -79,6 +84,7 @@ class Runner:
         parallel: int = 1,
         cache_dir: Optional[str] = None,
         no_cache: bool = False,
+        engine: str = DEFAULT_ENGINE,
     ):
         if parallel <= 0:
             parallel = default_workers()
@@ -86,6 +92,8 @@ class Runner:
         self.cache: Optional[ResultCache] = (
             None if no_cache else ResultCache(cache_dir)
         )
+        #: Default simulation engine for jobs that don't pin one.
+        self.engine = engine
 
     # -- introspection -------------------------------------------------------
     @property
@@ -163,6 +171,7 @@ class Runner:
                     wave.append((i, tasks.sim_point_payload(
                         job.table, job.traffic, rate,
                         job.warmup, job.measure, job.seed, job.sim_kw,
+                        engine=job.engine or self.engine,
                     )))
             stats_list = self.run_tasks("sim_point", [p for _, p in wave])
             for (i, _), stats in zip(wave, stats_list):
@@ -202,6 +211,7 @@ class Runner:
         measure: int = 2000,
         seed: int = 0,
         stop_after_saturation: bool = True,
+        engine: Optional[str] = None,
         **sim_kw,
     ) -> SweepResult:
         """Parallel, cached drop-in for
@@ -217,6 +227,7 @@ class Runner:
             seed=seed,
             stop_after_saturation=stop_after_saturation,
             sim_kw=dict(sim_kw),
+            engine=engine,
         )
         return self.curves([job])[0]
 
@@ -226,6 +237,7 @@ class Runner:
             tasks.sat_search_payload(
                 j.table, j.traffic, j.lo, j.hi, j.iters,
                 j.warmup, j.measure, j.seed, j.sim_kw,
+                engine=j.engine or self.engine,
             )
             for j in jobs
         ]

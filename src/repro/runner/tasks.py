@@ -23,6 +23,7 @@ from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..routing.tables import RoutingTable
+from ..sim.fastnet import DEFAULT_ENGINE
 from ..sim.network import SimStats
 from ..sim.sweep import find_saturation, run_point
 from ..sim.traffic import (
@@ -39,8 +40,10 @@ from ..sim.traffic import (
 from ..topology import Layout, Topology
 
 #: Payload format version; bump to invalidate all cached entries when the
-#: simulator's semantics change.
-TASK_VERSION = 1
+#: simulator's semantics change.  v2: accepted throughput counts every
+#: packet ejected during the measurement window (not only window-born
+#: ones), and payloads carry the simulation engine.
+TASK_VERSION = 2
 
 
 # ---------------------------------------------------------------------------
@@ -217,6 +220,7 @@ def sim_point_payload(
     measure: int,
     seed: int,
     sim_kw: Optional[Dict[str, Any]] = None,
+    engine: str = DEFAULT_ENGINE,
 ) -> Dict[str, Any]:
     return {
         "task": "sim_point",
@@ -228,6 +232,7 @@ def sim_point_payload(
         "measure": int(measure),
         "seed": int(seed),
         "sim_kw": dict(sim_kw or {}),
+        "engine": str(engine),
     }
 
 
@@ -242,6 +247,7 @@ def sim_point_task(payload: Dict[str, Any]) -> Dict[str, Any]:
         warmup=payload["warmup"],
         measure=payload["measure"],
         seed=payload["seed"],
+        engine=payload.get("engine", DEFAULT_ENGINE),
         **payload.get("sim_kw", {}),
     )
     return stats_to_dict(stats)
@@ -257,6 +263,7 @@ def sat_search_payload(
     measure: int,
     seed: int,
     sim_kw: Optional[Dict[str, Any]] = None,
+    engine: str = DEFAULT_ENGINE,
 ) -> Dict[str, Any]:
     return {
         "task": "sat_search",
@@ -270,6 +277,7 @@ def sat_search_payload(
         "measure": int(measure),
         "seed": int(seed),
         "sim_kw": dict(sim_kw or {}),
+        "engine": str(engine),
     }
 
 
@@ -287,6 +295,7 @@ def sat_search_task(payload: Dict[str, Any]) -> float:
             warmup=payload["warmup"],
             measure=payload["measure"],
             seed=payload["seed"],
+            engine=payload.get("engine", DEFAULT_ENGINE),
             **payload.get("sim_kw", {}),
         )
     )

@@ -1,5 +1,6 @@
 """Flit-serialized, VC-aware NoI network simulator and traffic generators."""
 
+from .fastnet import DEFAULT_ENGINE, ENGINES, FastNetworkSimulator, resolve_engine
 from .network import (
     DEFAULT_VC_BUFFER_FLITS,
     LINK_LATENCY,
@@ -41,6 +42,10 @@ from .traffic import (
 
 __all__ = [
     "NetworkSimulator",
+    "FastNetworkSimulator",
+    "ENGINES",
+    "DEFAULT_ENGINE",
+    "resolve_engine",
     "SimStats",
     "Packet",
     "CONTROL_FLITS",

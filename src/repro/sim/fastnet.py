@@ -1,0 +1,639 @@
+"""Flat-array fast engine for the NoI simulator.
+
+``FastNetworkSimulator`` re-implements :class:`repro.sim.network.
+NetworkSimulator` with the same cycle-level semantics and the same RNG
+draw order — differential tests assert bit-identical :class:`SimStats`
+against the reference engine — but with the dict-of-objects hot path
+compiled down to integer-indexed flat structures:
+
+* **dense lookup tables** — the ``(node, src, dst) -> next hop`` dict and
+  the per-flow VC dict of :class:`~repro.routing.tables.RoutingTable`
+  become preallocated flat integer lists indexed by
+  ``node*n*n + src*n + dst`` and ``src*n + dst``;
+* **integer channel ids** — directed link ``k`` of the topology is
+  channel ``k``; the injection pseudo-channel of router ``r`` is channel
+  ``L + r``.  Per-(channel, VC) state lives in flat lists indexed by
+  ``slot = channel*num_vcs + vc``;
+* **tuple queues with unpacked scan state** — a queued packet is one
+  ``(ready, key, size, src, dst, birth)`` tuple; each (channel, VC)
+  queue keeps its head tuple in ``heads[slot]`` (promotion is a single
+  store) with the tail in a deque, and a per-channel bitmask tracks
+  occupied VCs so the arbitration scan only touches non-empty queues;
+* **enqueue-time routing** — ``key`` is the packet's request at its next
+  router (-1 = eject there, else the output channel id), precomputed
+  when the packet is enqueued, so the scan never consults the routing
+  table;
+* **per-slot snooze timers** — a head blocked until a provable cycle
+  (its own arrival time, the requested output channel's busy timer, the
+  ejection port's busy timer) records that cycle in ``snooze[slot]``;
+  until then each revisit costs one integer compare.  Busy timers are
+  monotone, so a snoozed head can never miss the first cycle at which
+  the reference would have granted it;
+* **batched per-cycle RNG** — the Bernoulli injection draws for all
+  routers come from one ``rng.random(n)`` call per cycle (exactly the
+  reference's draw), converted once to Python floats; destination and
+  size draws then consume the stream in the identical per-packet order
+  (the destination closure and the size draw are invoked exactly as the
+  reference invokes them);
+* **runnable-router bitmask with a timer wheel** — arbitration visits
+  only routers in the ``runnable`` mask (ascending bit order — the
+  reference's same-cycle credit propagation order).  A router whose
+  every queued head is provably idle until a known cycle parks itself in
+  a cycle-indexed wheel and is re-armed when that cycle arrives, when a
+  packet arrives for it, or when downstream credit it was blocked on is
+  released (pops re-arm the upstream router only if a grant actually
+  failed on that buffer — ``cwait``).  Skipped cycles are exactly the
+  cycles in which the reference arbitration would have been a no-op;
+* **fused batch loop** — generation, injection, and arbitration for a
+  whole ``run`` segment execute inside one loop frame
+  (:meth:`_run_cycles`), so the ~30 hot state containers bind to locals
+  once per segment instead of once per cycle, and measurement counters
+  accumulate in locals that are flushed back when the segment ends.
+
+The reference engine stays the differential oracle (and the base class
+for :class:`~repro.sim.stats.InstrumentedSimulator`); this engine is the
+workhorse behind sweeps and saturation searches (``engine="fast"``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..routing.tables import RoutingTable
+from .network import (
+    DEFAULT_VC_BUFFER_FLITS,
+    LINK_LATENCY,
+    ROUTER_LATENCY,
+    NetworkSimulator,
+    SimStats,
+)
+from .packet import CONTROL_FLITS, DATA_FLITS
+from .traffic import TrafficPattern
+
+#: Queued packet record: (ready, key, size, src, dst, birth) where
+#: ``key`` is the precomputed request at the downstream router (-1 =
+#: eject there, else the output channel id to request).
+PacketRecord = Tuple[int, int, int, int, int, int]
+
+#: Engine name -> simulator class.  ``DEFAULT_ENGINE`` is what sweeps,
+#: the runner, and the CLI use unless told otherwise; ``"reference"``
+#: remains available everywhere as the differential oracle.
+DEFAULT_ENGINE = "fast"
+
+_NEVER = 1 << 60  # sentinel wake time: no pending timer found yet
+_NO_KEY = -2  # sentinel: no ready request collected yet this scan
+
+
+def resolve_engine(engine: str):
+    """Map an engine name to its simulator class."""
+    try:
+        return ENGINES[engine]
+    except KeyError:
+        raise ValueError(
+            f"unknown engine {engine!r}: expected one of {sorted(ENGINES)}"
+        ) from None
+
+
+class FastNetworkSimulator:
+    """Flat-array drop-in for :class:`NetworkSimulator` (same stats)."""
+
+    def __init__(
+        self,
+        table: RoutingTable,
+        traffic: TrafficPattern,
+        injection_rate: float,
+        seed: int = 0,
+        vc_buffer_flits: int = DEFAULT_VC_BUFFER_FLITS,
+        router_latency: int = ROUTER_LATENCY,
+        link_latency: int = LINK_LATENCY,
+        extra_hop_latency: int = 0,
+    ):
+        self.table = table
+        self.topo = table.topology
+        self.traffic = traffic
+        self.rate = float(injection_rate)
+        self.rng = np.random.default_rng(seed)
+        self.vc_cap = vc_buffer_flits
+        self.hop_delay = router_latency + link_latency + extra_hop_latency
+        self.num_vcs = table.num_vcs
+
+        n = self.topo.n
+        self.n = n
+        V = self.num_vcs
+        links = list(self.topo.directed_links)
+        L = len(links)
+        self.num_links = L
+
+        # Dense routing state.  -1 marks (node, src, dst) triples no flow
+        # ever visits; a valid table never reads them.
+        nh = [-1] * (n * n * n)
+        for (node, src, dst), hop in table.next_hop.items():
+            nh[(node * n + src) * n + dst] = hop
+        self.nh = nh
+        vc_of = [0] * (n * n)
+        for (src, dst), vc in table.flow_vc.items():
+            vc_of[src * n + dst] = vc
+        self.vc_of = vc_of
+
+        # Channel id space: links 0..L-1, injection pseudo-channels L..L+n-1.
+        out_id = [-1] * (n * n)
+        for ch, (u, v) in enumerate(links):
+            out_id[u * n + v] = ch
+        self.out_id = out_id
+        self.ch_dst = [v for _, v in links]  # downstream router per link
+        self.ch_src = [u for u, _ in links]  # upstream router per link
+        # Per-router input scan order mirrors the reference exactly:
+        # injection channel first, then link channels in topology order.
+        in_bases: List[List[int]] = [[(L + r) * V] for r in range(n)]
+        for ch, (_, v) in enumerate(links):
+            in_bases[v].append(ch * V)
+        self.in_bases = [tuple(b) for b in in_bases]
+        self.inj_base = [(L + r) * V for r in range(n)]
+
+        nq = (L + n) * V
+        # Scan helpers: occupancy-mask -> tuple of set VC indices
+        # (ascending, i.e. the reference VC scan order), and slot ->
+        # upstream router to wake when that buffer frees (-1 for
+        # injection slots, which have no upstream arbiter).
+        self.vcs_of = [
+            tuple(vc for vc in range(V) if m >> vc & 1) for m in range(1 << V)
+        ]
+        self.slot_src = [
+            self.ch_src[slot // V] if slot < L * V else -1 for slot in range(nq)
+        ]
+        # Queue state per slot: head record, earliest cycle the head
+        # could possibly act (snooze), tail deque, per-channel occupancy
+        # bitmask (indexed by the channel's base slot), and the
+        # credit-waiter flag (an upstream grant failed on this buffer).
+        self.heads: List[Optional[PacketRecord]] = [None] * nq
+        self.snooze = [0] * nq
+        self.tail: List[Deque[PacketRecord]] = [deque() for _ in range(nq)]
+        self.masks = [0] * nq
+        self.cwait = [0] * nq
+        self.slot_ch = [s // V for s in range(nq)]
+
+        self.free = [self.vc_cap] * nq
+        self.busy_until = [0] * L
+        self.rr = [0] * L
+        self.inj_busy = [0] * n
+        self.ej_busy = [0] * n
+        self.ej_rr = [0] * n
+        # Source-side state: per-node generated-packet queue plus a
+        # bitmask of nodes whose queue is non-empty.
+        self.source_q: List[Deque[Tuple[int, int, int, int, int]]] = [
+            deque() for _ in range(n)
+        ]
+        self.pending = 0
+        # Source ports not provably blocked (inj-port serialization or
+        # full inj buffer); blocked ports re-arm via the injection wheel
+        # or an inj-buffer credit release.
+        self.pollable = (1 << n) - 1
+        self.iwheel: Dict[int, int] = {}
+        # Worklist state: the runnable-router mask, per-router wake
+        # times (0 = runnable now), and the cycle-indexed timer wheel.
+        self.runnable = (1 << n) - 1
+        self.wake = [0] * n
+        self.wheel: Dict[int, int] = {}
+
+        self._pid = 0
+        self.cycle = 0
+        self.measuring = False
+        self.measure_start = 0
+        self.offered = 0
+        self.ejected = 0
+        self.ejected_flits = 0
+        self.lat_sum = 0.0
+        self.lat_count = 0
+        self.in_flight = 0
+
+    # -- the fused cycle loop --------------------------------------------------
+    def _run_cycles(self, ncycles: int) -> None:
+        """Advance the simulation by ``ncycles`` cycles.
+
+        One loop frame owns generation, injection, and arbitration so
+        every hot container is a local.  Each cycle performs, in order:
+        per-node Bernoulli generation (one batched draw), source-queue
+        injection, and per-router arbitration in ascending router index —
+        exactly the reference's :meth:`~NetworkSimulator.step` sequence.
+        """
+        if ncycles <= 0:
+            return
+        cycle = self.cycle
+        end = cycle + ncycles
+        n = self.n
+        V = self.num_vcs
+
+        # generation / injection state.  ``dest_fn`` and the inlined
+        # size draw perform exactly the calls the reference's
+        # ``TrafficPattern.destination`` / ``packet_size`` wrappers make,
+        # in the same order — the differential suite pins this.
+        lam = self.rate
+        whole = int(lam)
+        frac = lam - whole
+        rng = self.rng
+        rng_random = rng.random
+        dest = self.traffic.dest_fn
+        dfrac = self.traffic.data_fraction
+        source_q = self.source_q
+        pending = self.pending
+        pollable = self.pollable
+        iwheel = self.iwheel
+        iwheel_pop = iwheel.pop
+        iwheel_get = iwheel.get
+        inj_base = self.inj_base
+        inj_busy = self.inj_busy
+        vc_of = self.vc_of
+        num_links = self.num_links
+        link_slots = num_links * V
+
+        # switching state
+        wake = self.wake
+        wheel = self.wheel
+        wheel_pop = wheel.pop
+        wheel_get = wheel.get
+        runnable = self.runnable
+        masks = self.masks
+        heads = self.heads
+        snooze = self.snooze
+        tail = self.tail
+        free = self.free
+        cwait = self.cwait
+        slot_ch = self.slot_ch
+        busy_until = self.busy_until
+        rr = self.rr
+        ej_busy = self.ej_busy
+        ej_rr = self.ej_rr
+        in_bases = self.in_bases
+        out_id = self.out_id
+        nh = self.nh
+        ch_dst = self.ch_dst
+        vcs_of = self.vcs_of
+        slot_src = self.slot_src
+        hop_delay = self.hop_delay
+        one = [0]  # reusable single-requester list (fast path)
+
+        # measurement accumulators (flushed back on exit)
+        measuring = self.measuring
+        measure_start = self.measure_start
+        pid = self._pid
+        offered = self.offered
+        ejected = self.ejected
+        ejected_flits = self.ejected_flits
+        lat_sum = self.lat_sum
+        lat_count = self.lat_count
+        in_flight = self.in_flight
+
+        while cycle < end:
+            # -- generation: one batched uniform draw per cycle (identical
+            # stream positions to the reference's vector draw), unpacked
+            # to Python floats once instead of n numpy scalar reads.
+            if lam > 0:
+                draws = rng_random(n).tolist()
+                if whole == 0:
+                    # Sub-unit rates (the universal case): visit only the
+                    # Bernoulli winners, in ascending node order — the
+                    # same nodes, in the same order, that the reference
+                    # loop injects for.
+                    node = -1
+                    for d in draws:
+                        node += 1
+                        if d >= frac:
+                            continue
+                        dst = dest(node, rng)
+                        size = DATA_FLITS if rng_random() < dfrac else CONTROL_FLITS
+                        if dst == node:
+                            key = -1
+                        else:
+                            key = out_id[node * n + nh[(node * n + node) * n + dst]]
+                        pid += 1
+                        source_q[node].append(
+                            (vc_of[node * n + dst], key, size, dst, cycle)
+                        )
+                        pending |= 1 << node
+                        in_flight += 1
+                        if measuring:
+                            offered += 1
+                else:
+                    for node in range(n):
+                        count = whole + (1 if draws[node] < frac else 0)
+                        for _ in range(count):
+                            dst = dest(node, rng)
+                            size = (
+                                DATA_FLITS
+                                if rng_random() < dfrac
+                                else CONTROL_FLITS
+                            )
+                            if dst == node:
+                                key = -1
+                            else:
+                                key = out_id[
+                                    node * n + nh[(node * n + node) * n + dst]
+                                ]
+                            pid += 1
+                            source_q[node].append(
+                                (vc_of[node * n + dst], key, size, dst, cycle)
+                            )
+                            pending |= 1 << node
+                            in_flight += 1
+                            if measuring:
+                                offered += 1
+
+            # -- injection: serialized source ports, ascending node order.
+            # Only nodes with a backlog that are not provably blocked are
+            # visited; blocked ones park in the injection wheel (port
+            # timer) or wait for an inj-buffer credit release.
+            ifired = iwheel_pop(cycle, 0)
+            if ifired:
+                pollable |= ifired
+            m = pending & pollable
+            if m:
+                while m:
+                    lsb = m & -m
+                    m ^= lsb
+                    node = lsb.bit_length() - 1
+                    busy_t = inj_busy[node]
+                    if busy_t > cycle:
+                        pollable ^= lsb
+                        iwheel[busy_t] = iwheel_get(busy_t, 0) | lsb
+                        continue
+                    sq = source_q[node]
+                    vc, key, size, dst, birth = sq[0]
+                    base = inj_base[node]
+                    slot = base + vc
+                    if free[slot] < size:
+                        # Re-armed when a pop frees this node's inj buffer.
+                        pollable ^= lsb
+                        continue
+                    sq.popleft()
+                    if not sq:
+                        pending ^= lsb
+                    free[slot] -= size
+                    ready = cycle + size
+                    inj_busy[node] = ready
+                    # The port now serializes until ``ready``; park it.
+                    pollable ^= lsb
+                    iwheel[ready] = iwheel_get(ready, 0) | lsb
+                    rec = (ready, key, size, node, dst, birth)
+                    bit = 1 << vc
+                    if masks[base] & bit:
+                        tail[slot].append(rec)
+                    else:
+                        masks[base] |= bit
+                        heads[slot] = rec
+                        snooze[slot] = ready
+                    if ready < wake[node]:
+                        # The node's router sleeps past this packet's
+                        # arrival: re-arm it at the arrival cycle.
+                        wake[node] = ready
+                        wheel[ready] = wheel_get(ready, 0) | lsb
+
+            # -- switching: runnable routers in ascending index order
+            # (the reference's same-cycle credit propagation order).
+            fired = wheel_pop(cycle, 0)
+            if fired:
+                runnable |= fired
+                while fired:
+                    fl = fired & -fired
+                    fired ^= fl
+                    wake[fl.bit_length() - 1] = 0
+            # Iterate the LIVE mask, ascending: a credit release by
+            # router v re-arms an upstream router u' immediately, and if
+            # u' > v the reference lets it act later in the same cycle.
+            u = -1
+            while True:
+                m_live = runnable >> (u + 1)
+                if not m_live:
+                    break
+                u += (m_live & -m_live).bit_length()
+                ubit = 1 << u
+                # Scan this router's occupied input queues in the
+                # reference order and bucket ready heads per requested
+                # output channel (-1 = the ejection port).  Outputs
+                # mid-serialization (and a busy ejection port) are
+                # skipped at scan time: the reference builds their
+                # request lists too, but never touches state for them,
+                # so dropping them here is observationally identical.
+                # ``wake_t`` accumulates the earliest deterministic
+                # timer (packet arrival / busy expiry) for the sleep
+                # decision; the single-requester common case avoids
+                # building a dict at all.
+                requests: Optional[dict] = None
+                k1 = _NO_KEY
+                s1 = 0
+                wake_t = _NEVER
+                ej_busy_u = ej_busy[u]
+                for base in in_bases[u]:
+                    m = masks[base]
+                    if not m:
+                        continue
+                    for vc in vcs_of[m]:
+                        slot = base + vc
+                        t_ = snooze[slot]
+                        if t_ > cycle:
+                            if t_ < wake_t:
+                                wake_t = t_
+                            continue
+                        key = heads[slot][1]
+                        if key >= 0:
+                            b = busy_until[key]
+                            if b > cycle:
+                                snooze[slot] = b
+                                if b < wake_t:
+                                    wake_t = b
+                                continue
+                        elif ej_busy_u > cycle:
+                            snooze[slot] = ej_busy_u
+                            if ej_busy_u < wake_t:
+                                wake_t = ej_busy_u
+                            continue
+                        if requests is not None:
+                            lst = requests.get(key)
+                            if lst is None:
+                                requests[key] = [slot]
+                            else:
+                                lst.append(slot)
+                        elif k1 == _NO_KEY:
+                            k1 = key
+                            s1 = slot
+                        else:
+                            requests = {k1: [s1]}
+                            lst = requests.get(key)
+                            if lst is None:
+                                requests[key] = [slot]
+                            else:
+                                lst.append(slot)
+                if requests is None:
+                    if k1 == _NO_KEY:
+                        # Every queued head is pinned down by a
+                        # deterministic timer: park the router until the
+                        # earliest timer (arrivals and credit releases
+                        # re-arm it early), skipping exactly the no-op
+                        # cycles.
+                        runnable ^= ubit
+                        wake[u] = wake_t
+                        if wake_t != _NEVER:
+                            wheel[wake_t] = wheel_get(wake_t, 0) | ubit
+                        continue
+                    one[0] = s1
+                    items = ((k1, one),)
+                else:
+                    items = requests.items()
+                acted = False
+                for key, reqs in items:
+                    if key < 0:
+                        # Ejection port: serialized, one grant per cycle.
+                        nr = len(reqs)
+                        if nr == 1:
+                            start = 0
+                            slot = reqs[0]
+                        else:
+                            start = ej_rr[u] % nr
+                            slot = reqs[start]
+                        rec = heads[slot]
+                        size = rec[2]
+                        t = tail[slot]
+                        if t:
+                            nxt_rec = t.popleft()
+                            heads[slot] = nxt_rec
+                            snooze[slot] = nxt_rec[0]
+                        else:
+                            vc = slot % V
+                            masks[slot - vc] &= ~(1 << vc)
+                        free[slot] += size
+                        if slot >= link_slots:
+                            # Freed inj-buffer space: the source port may
+                            # retry.
+                            pollable |= 1 << (slot_ch[slot] - num_links)
+                        elif cwait[slot]:
+                            # Freed credit an upstream grant failed on:
+                            # re-arm that router and unpark the output.
+                            cwait[slot] = 0
+                            runnable |= 1 << slot_src[slot]
+                        acted = True
+                        ej_busy[u] = cycle + size
+                        ej_rr[u] = start + 1
+                        in_flight -= 1
+                        if measuring:
+                            # Accepted throughput counts every delivery
+                            # in the window; latency samples only
+                            # window-born packets (mirrors the reference
+                            # `_eject` exactly).
+                            ejected += 1
+                            ejected_flits += size
+                            birth = rec[5]
+                            if birth >= measure_start:
+                                lat_sum += cycle + size - birth
+                                lat_count += 1
+                        continue
+                    out = key
+                    nr = len(reqs)
+                    start = 0 if nr == 1 else rr[out] % nr
+                    out_base = out * V
+                    # round-robin among requestors, skipping those
+                    # blocked by missing downstream credit (virtual
+                    # cut-through).
+                    for k in range(nr):
+                        slot = reqs[start + k - nr if start + k >= nr else start + k]
+                        rec = heads[slot]
+                        size = rec[2]
+                        vc = slot % V
+                        oslot = out_base + vc
+                        if free[oslot] < size:
+                            cwait[oslot] = 1
+                            continue
+                        t = tail[slot]
+                        if t:
+                            nxt_rec = t.popleft()
+                            heads[slot] = nxt_rec
+                            snooze[slot] = nxt_rec[0]
+                        else:
+                            masks[slot - vc] &= ~(1 << vc)
+                        free[slot] += size
+                        if slot >= link_slots:
+                            pollable |= 1 << (slot_ch[slot] - num_links)
+                        elif cwait[slot]:
+                            cwait[slot] = 0
+                            runnable |= 1 << slot_src[slot]
+                        acted = True
+                        free[oslot] -= size
+                        done = cycle + size
+                        busy_until[out] = done
+                        v = ch_dst[out]
+                        src = rec[3]
+                        dst = rec[4]
+                        if dst == v:
+                            nkey = -1
+                        else:
+                            nkey = out_id[v * n + nh[(v * n + src) * n + dst]]
+                        ready = done + hop_delay
+                        nrec = (ready, nkey, size, src, dst, rec[5])
+                        bit = 1 << vc
+                        if masks[out_base] & bit:
+                            tail[oslot].append(nrec)
+                        else:
+                            masks[out_base] |= bit
+                            heads[oslot] = nrec
+                            snooze[oslot] = ready
+                        nxt = start + k + 1
+                        rr[out] = nxt - nr if nxt >= nr else nxt
+                        if ready < wake[v]:
+                            # The downstream router sleeps past this
+                            # packet's arrival: re-arm it then.
+                            wake[v] = ready
+                            wheel[ready] = wheel_get(ready, 0) | (1 << v)
+                        break
+                if not acted:
+                    # Requests existed but every one was credit-blocked:
+                    # no state changed (the reference leaves round-robin
+                    # pointers alone on failed grants), and each blocking
+                    # condition re-arms this router — timers via the
+                    # wheel, downstream credit via ``cwait``, new
+                    # arrivals via the enqueue wake.
+                    runnable ^= ubit
+                    wake[u] = wake_t
+                    if wake_t != _NEVER:
+                        wheel[wake_t] = wheel_get(wake_t, 0) | ubit
+            cycle += 1
+
+        self.cycle = cycle
+        self.pending = pending
+        self.pollable = pollable
+        self.runnable = runnable
+        self._pid = pid
+        self.offered = offered
+        self.ejected = ejected
+        self.ejected_flits = ejected_flits
+        self.lat_sum = lat_sum
+        self.lat_count = lat_count
+        self.in_flight = in_flight
+
+    # -- public stepping API ---------------------------------------------------
+    def step(self) -> None:
+        """Advance one cycle (generation, injection, arbitration)."""
+        self._run_cycles(1)
+
+    def run(self, warmup: int, measure: int) -> SimStats:
+        """Warm up, then measure for ``measure`` cycles."""
+        self._run_cycles(warmup)
+        self.measuring = True
+        self.measure_start = self.cycle
+        self._run_cycles(measure)
+        self.measuring = False
+        return SimStats(
+            cycles=measure,
+            offered_packets=self.offered,
+            ejected_packets=self.ejected,
+            ejected_flits=self.ejected_flits,
+            latency_sum=self.lat_sum,
+            latency_count=self.lat_count,
+            n_nodes=self.n,
+        )
+
+
+ENGINES = {
+    "reference": NetworkSimulator,
+    "fast": FastNetworkSimulator,
+}

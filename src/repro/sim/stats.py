@@ -101,21 +101,22 @@ class InstrumentedSimulator(NetworkSimulator):
             c: ChannelStats() for c in self.channels
         }
         self._latency_samples: List[int] = []
+        # Channel occupancy is recorded at the grant site (the base
+        # simulator invokes the callback for every arbitration win), so
+        # idle channels cost nothing — unlike snapshotting ``busy_until``
+        # for every outgoing channel of every router each cycle.
+        self._grant_cb = self._record_grant
 
-    # Track channel occupancy by observing busy_until transitions.
-    def _arbitrate_router(self, u: int) -> None:
-        before = {c: self.busy_until[c] for c in self.channels if c[0] == u}
-        super()._arbitrate_router(u)
-        for c, prev in before.items():
-            now = self.busy_until[c]
-            if now > prev and now > self.cycle:
-                st = self._channel_stats[c]
-                st.busy_cycles += now - self.cycle
-                st.packets += 1
-                st.flits += now - self.cycle
+    def _record_grant(self, channel: Channel, pkt: Packet) -> None:
+        st = self._channel_stats[channel]
+        st.busy_cycles += pkt.size_flits
+        st.packets += 1
+        st.flits += pkt.size_flits
 
     def _on_eject(self, pkt: Packet) -> None:
         self._last_eject_cycle = self.cycle
+        # Mirror the base accounting: latency samples only for packets
+        # born inside the measurement window (matching ``lat_count``).
         if self.measuring and pkt.birth_cycle >= self.measure_start:
             self._latency_samples.append(self.cycle + pkt.size_flits - pkt.birth_cycle)
         super()._on_eject(pkt)

@@ -17,6 +17,7 @@ import numpy as np
 
 from ..routing.tables import RoutingTable
 from ..topology.layout import CLASS_CLOCK_GHZ
+from .fastnet import DEFAULT_ENGINE, resolve_engine
 from .network import NetworkSimulator, SimStats
 from .traffic import TrafficPattern
 
@@ -90,9 +91,13 @@ def run_point(
     warmup: int = 500,
     measure: int = 2000,
     seed: int = 0,
+    engine: str = DEFAULT_ENGINE,
     **sim_kw,
 ) -> SimStats:
-    sim = NetworkSimulator(table, traffic, rate, seed=seed, **sim_kw)
+    """One measurement.  ``engine`` picks the simulator implementation
+    (``"fast"`` flat-array engine or the ``"reference"`` oracle); both
+    produce identical :class:`SimStats` for identical inputs."""
+    sim = resolve_engine(engine)(table, traffic, rate, seed=seed, **sim_kw)
     return sim.run(warmup, measure)
 
 
@@ -157,6 +162,7 @@ def latency_throughput_curve(
     measure: int = 2000,
     seed: int = 0,
     stop_after_saturation: bool = True,
+    engine: str = DEFAULT_ENGINE,
     **sim_kw,
 ) -> SweepResult:
     """Sweep offered injection rates and build the latency curve."""
@@ -167,7 +173,8 @@ def latency_throughput_curve(
     zero_load: Optional[float] = None
     for rate in rates:
         stats = run_point(
-            table, traffic, rate, warmup=warmup, measure=measure, seed=seed, **sim_kw
+            table, traffic, rate, warmup=warmup, measure=measure, seed=seed,
+            engine=engine, **sim_kw
         )
         if zero_load is None and np.isfinite(stats.avg_latency_cycles):
             zero_load = stats.avg_latency_cycles
@@ -187,6 +194,7 @@ def find_saturation(
     warmup: int = 400,
     measure: int = 1200,
     seed: int = 0,
+    engine: str = DEFAULT_ENGINE,
     **sim_kw,
 ) -> float:
     """Binary-search the saturation injection rate (packets/node/cycle).
@@ -194,14 +202,27 @@ def find_saturation(
     Cheaper than a full sweep when only the saturation point is needed
     (Fig. 11's throughput comparisons).
     """
-    base = run_point(table, traffic, lo, warmup=warmup, measure=measure, seed=seed, **sim_kw)
+    base = run_point(
+        table, traffic, lo, warmup=warmup, measure=measure, seed=seed,
+        engine=engine, **sim_kw
+    )
     zero_load = base.avg_latency_cycles
     if not np.isfinite(zero_load):
+        return 0.0
+    if (
+        base.offered_packets_node_cycle > 0
+        and base.throughput_packets_node_cycle
+        < ACCEPTANCE_FLOOR * base.offered_packets_node_cycle
+    ):
+        # Even the base probe is saturated: the network cannot accept the
+        # lowest offered rate, so the bisection bracket [lo, hi] does not
+        # exist and returning ``a == lo`` would overstate capacity.
         return 0.0
 
     def saturated(rate: float) -> bool:
         st = run_point(
-            table, traffic, rate, warmup=warmup, measure=measure, seed=seed, **sim_kw
+            table, traffic, rate, warmup=warmup, measure=measure, seed=seed,
+            engine=engine, **sim_kw
         )
         lat = st.avg_latency_cycles
         return (
