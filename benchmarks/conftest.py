@@ -6,9 +6,23 @@ experiment index) and *prints* the rows/series the paper reports, so
 report.  Expensive sweeps run exactly once per session
 (``benchmark.pedantic(rounds=1)``): the timing of interest is the
 end-to-end harness cost, not micro-op statistics.
+
+Engine benchmarks additionally record machine-readable perf numbers
+through the ``bench_record`` fixture; at session end they are written to
+``BENCH_engine.json`` (next to this file, or ``$BENCH_ENGINE_JSON``) so
+the perf trajectory is tracked across PRs — CI uploads the file as an
+artifact.
 """
 
+import json
+import os
+import platform
+import time
+
 import pytest
+
+#: benchmark name -> recorded fields (wall times, speedup ratios, ...).
+_ENGINE_RECORDS = {}
 
 
 def run_once(benchmark, fn, *args, **kwargs):
@@ -22,3 +36,41 @@ def once(benchmark):
         return run_once(benchmark, fn, *args, **kwargs)
 
     return _run
+
+
+@pytest.fixture
+def bench_record(request):
+    """Record machine-readable results for the current benchmark.
+
+    Call as ``bench_record(wall_s=..., speedup=..., **anything_json)``;
+    fields merge under the test's name in ``BENCH_engine.json``.
+    """
+
+    def _record(**fields):
+        _ENGINE_RECORDS.setdefault(request.node.name, {}).update(fields)
+
+    return _record
+
+
+def bench_json_path() -> str:
+    return os.environ.get(
+        "BENCH_ENGINE_JSON",
+        os.path.join(os.path.dirname(__file__), "BENCH_engine.json"),
+    )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _ENGINE_RECORDS:
+        return
+    doc = {
+        "schema": 1,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "benchmarks": _ENGINE_RECORDS,
+    }
+    path = bench_json_path()
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"\n[engine benchmark results written to {path}]")

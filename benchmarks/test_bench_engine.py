@@ -3,14 +3,14 @@
 Runs the fig6-style uniform-traffic sweep (4x5 grid, medium link class,
 fig6 budgets and rates, stop-after-saturation) with both engines,
 verifies the curves are bit-identical, and reports the wall-clock
-speedup.  The engine-level target is >=3x; end-to-end sweep wall-clock
-includes the RNG/traffic-generation work that both engines must perform
-identically (same draw order), which bounds the aggregate — typically
-measured at 2.3-2.7x on a contended single-core container, with >=3-4x
-at low injection rates where the fast engine's worklist/sleep machinery
-skips idle cycles outright.  The assertion uses a conservative 2x floor
-so the benchmark stays meaningful under CI timer noise; the measured
-ratio is printed either way.
+speedup.  PR 2's engine was bounded at ~2.3x aggregate by shared
+RNG-draw-order work (one scalar destination closure call and one scalar
+size draw per packet); the trace-fed engine pre-generates injection
+events in vectorized chunks and shares one compiled network across all
+rate points, which clears the >=3x aggregate target.  The assertion
+floor is 3x (low-load points, where the worklist/sleep machinery
+additionally skips idle cycles outright, must clear 4x); the measured
+ratios are printed and persisted to ``BENCH_engine.json`` either way.
 """
 
 import time
@@ -20,6 +20,11 @@ from repro.experiments.registry import roster, routed_entry
 from repro.sim import latency_throughput_curve, run_point, uniform_random
 
 REPS = 3  # interleaved repetitions; min cancels scheduler noise
+
+#: Asserted speedup floors (conservative vs typical measurements, so the
+#: benchmark stays meaningful under CI timer noise).
+AGGREGATE_FLOOR = 3.0
+LOW_LOAD_FLOOR = 4.0
 
 
 def _sweep(table, engine):
@@ -40,7 +45,7 @@ def _timed_sweeps(table):
     return best, curves
 
 
-def test_engine_speedup_fig6_medium(once):
+def test_engine_speedup_fig6_medium(once, bench_record):
     entries = roster("medium", 20, allow_generate=False)
     tables = [(e.name, routed_entry(e, seed=0)) for e in entries]
 
@@ -51,6 +56,7 @@ def test_engine_speedup_fig6_medium(once):
 
     print("\nEngine speedup — fig6-style uniform sweep (4x5, medium class)")
     tot_ref = tot_fast = 0.0
+    per_topology = {}
     for name, (best, curves) in results.items():
         # equal results: point-for-point identical curves
         ref_pts = curves["reference"].points
@@ -61,17 +67,33 @@ def test_engine_speedup_fig6_medium(once):
         ratio = best["reference"] / best["fast"]
         tot_ref += best["reference"]
         tot_fast += best["fast"]
+        per_topology[name] = {
+            "reference_s": best["reference"],
+            "fast_s": best["fast"],
+            "speedup": ratio,
+        }
         print(f"  {name:<18} reference={best['reference']*1e3:7.1f} ms  "
               f"fast={best['fast']*1e3:7.1f} ms  speedup={ratio:4.2f}x")
     agg = tot_ref / tot_fast
     print(f"  {'AGGREGATE':<18} reference={tot_ref*1e3:7.1f} ms  "
           f"fast={tot_fast*1e3:7.1f} ms  speedup={agg:4.2f}x")
-    assert agg >= 2.0, f"fast engine speedup regressed: {agg:.2f}x < 2x"
+    bench_record(
+        workload="fig6 medium uniform sweep (4x5)",
+        reference_s=tot_ref,
+        fast_s=tot_fast,
+        speedup=agg,
+        floor=AGGREGATE_FLOOR,
+        per_topology=per_topology,
+    )
+    assert agg >= AGGREGATE_FLOOR, (
+        f"fast engine speedup regressed: {agg:.2f}x < {AGGREGATE_FLOOR}x"
+    )
 
 
-def test_engine_speedup_low_load_point(once):
-    """At sub-saturation operating points the sleep machinery dominates:
-    the fast engine skips idle routers/cycles and clears 3x+."""
+def test_engine_speedup_low_load_point(once, bench_record):
+    """At sub-saturation operating points the trace and the sleep
+    machinery compound: precomputed arrivals plus skipped idle cycles
+    clear 4x+."""
     entry = roster("medium", 20, allow_generate=False)[0]
     table = routed_entry(entry, seed=0)
 
@@ -93,4 +115,11 @@ def test_engine_speedup_low_load_point(once):
     ratio = best["reference"] / best["fast"]
     print(f"\nlow-load point (rate 0.02): reference={best['reference']*1e3:.1f} ms "
           f"fast={best['fast']*1e3:.1f} ms  speedup={ratio:.2f}x")
-    assert ratio >= 2.5, f"low-load speedup regressed: {ratio:.2f}x"
+    bench_record(
+        workload="single low-load point (rate 0.02)",
+        reference_s=best["reference"],
+        fast_s=best["fast"],
+        speedup=ratio,
+        floor=LOW_LOAD_FLOOR,
+    )
+    assert ratio >= LOW_LOAD_FLOOR, f"low-load speedup regressed: {ratio:.2f}x"

@@ -13,10 +13,12 @@ Commands mirror the library's pipeline:
 ``--parallel N`` (fan sim points across N worker processes; 0 = all
 cores), ``--cache-dir PATH`` (on-disk result cache location, default
 ``$REPRO_CACHE_DIR`` or ``.repro-cache``), ``--no-cache`` (bypass the
-cache entirely), and ``--engine fast|reference`` (flat-array fast
-engine, the default, or the reference oracle — identical results
-either way).  Results are bit-identical at any worker count; a cached
-rerun skips simulation outright.  See ``docs/CLI.md``.
+cache entirely), and ``--engine fast|reference`` (the default fast
+engine — flat arrays, pre-generated vectorized traffic traces, one
+compiled network shared per routed topology — or the reference oracle;
+identical results either way).  Results are bit-identical at any
+worker count; a cached rerun skips simulation outright.  See
+``docs/CLI.md``.
 """
 
 from __future__ import annotations
@@ -273,7 +275,8 @@ def _add_runner_flags(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--engine", choices=("fast", "reference"), default="fast",
-        help="simulation engine: the flat-array fast engine (default) or "
+        help="simulation engine: the fast engine (default; flat arrays, "
+             "pre-generated traffic traces, compiled-network reuse) or "
              "the reference oracle; both produce identical results",
     )
 

@@ -47,7 +47,12 @@ def fig10_curves(
     seed: int = 0,
     allow_generate: bool = True,
     runner: Optional["Runner"] = None,
+    engine: Optional[str] = None,
 ) -> Fig10Result:
+    """``engine`` pins the simulation engine ("fast"/"reference");
+    ``None`` uses the runner's default (or "fast" serially).  Either
+    way each routed topology compiles once and its trace-fed sweep
+    produces curves identical to the reference engine's."""
     layout = standard_layout(n_routers)
     rates = tuple(rates or DEFAULT_RATES)
     cast = []
@@ -72,13 +77,15 @@ def fig10_curves(
             CurveJob(
                 table=table, traffic=TrafficSpec.shuffle(layout.n), rates=rates,
                 name=entry.name, link_class=cls,
-                warmup=warmup, measure=measure, seed=seed,
+                warmup=warmup, measure=measure, seed=seed, engine=engine,
             )
             for cls, entry, table in cast
         ]
         for (cls, entry, _), curve in zip(cast, runner.curves(jobs)):
             curves[entry.name] = curve
     else:
+        from ..sim.fastnet import DEFAULT_ENGINE
+
         traffic = shuffle_pattern(layout.n)
         for cls, entry, table in cast:
             curves[entry.name] = latency_throughput_curve(
@@ -90,5 +97,6 @@ def fig10_curves(
                 warmup=warmup,
                 measure=measure,
                 seed=seed,
+                engine=engine or DEFAULT_ENGINE,
             )
     return Fig10Result(curves=curves)

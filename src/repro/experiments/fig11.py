@@ -58,9 +58,13 @@ def fig11_points(
     seed: int = 0,
     allow_generate: bool = True,
     runner: Optional["Runner"] = None,
+    engine: Optional[str] = None,
 ) -> Fig11Result:
     """With a runner, each topology's whole saturation binary search is
-    one task, fanned across workers and cached."""
+    one task, fanned across workers and cached.  ``engine`` pins the
+    simulation engine ("fast"/"reference"); ``None`` uses the runner's
+    default (or "fast" serially).  Every search's probes share one
+    compiled network and are memoized by rate."""
     layout = standard_layout(n_routers)
     cast = []
     for cls in link_classes:
@@ -81,14 +85,20 @@ def fig11_points(
             SaturationJob(
                 table=table, traffic=TrafficSpec.uniform(layout.n),
                 name=entry.name, warmup=warmup, measure=measure, seed=seed,
+                engine=engine,
             )
             for cls, entry, table in cast
         ]
         sats = runner.saturations(jobs)
     else:
+        from ..sim.fastnet import DEFAULT_ENGINE
+
         traffic = uniform_random(layout.n)
         sats = [
-            find_saturation(table, traffic, warmup=warmup, measure=measure, seed=seed)
+            find_saturation(
+                table, traffic, warmup=warmup, measure=measure, seed=seed,
+                engine=engine or DEFAULT_ENGINE,
+            )
             for cls, entry, table in cast
         ]
     points = [

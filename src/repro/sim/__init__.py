@@ -1,6 +1,12 @@
 """Flit-serialized, VC-aware NoI network simulator and traffic generators."""
 
-from .fastnet import DEFAULT_ENGINE, ENGINES, FastNetworkSimulator, resolve_engine
+from .fastnet import (
+    DEFAULT_ENGINE,
+    ENGINES,
+    CompiledNetwork,
+    FastNetworkSimulator,
+    resolve_engine,
+)
 from .network import (
     DEFAULT_VC_BUFFER_FLITS,
     LINK_LATENCY,
@@ -24,11 +30,14 @@ from .stats import (
 from .sweep import (
     SweepPoint,
     SweepResult,
+    compile_for_engine,
     find_saturation,
     latency_throughput_curve,
     run_point,
 )
+from .trace import TRACE_CHUNK_CYCLES, TraceStream
 from .traffic import (
+    DestSpec,
     TrafficPattern,
     bit_complement,
     hotspot,
@@ -43,9 +52,14 @@ from .traffic import (
 __all__ = [
     "NetworkSimulator",
     "FastNetworkSimulator",
+    "CompiledNetwork",
+    "TraceStream",
+    "TRACE_CHUNK_CYCLES",
+    "DestSpec",
     "ENGINES",
     "DEFAULT_ENGINE",
     "resolve_engine",
+    "compile_for_engine",
     "SimStats",
     "Packet",
     "CONTROL_FLITS",

@@ -6,10 +6,22 @@ draw order — differential tests assert bit-identical :class:`SimStats`
 against the reference engine — but with the dict-of-objects hot path
 compiled down to integer-indexed flat structures:
 
-* **dense lookup tables** — the ``(node, src, dst) -> next hop`` dict and
-  the per-flow VC dict of :class:`~repro.routing.tables.RoutingTable`
-  become preallocated flat integer lists indexed by
-  ``node*n*n + src*n + dst`` and ``src*n + dst``;
+* **compiled networks** — the dense ``(node, src, dst) -> next hop``
+  and per-flow VC tables, channel id maps, input scan orders, and VC
+  occupancy decode tables derived from a :class:`~repro.routing.tables.
+  RoutingTable` live in a :class:`CompiledNetwork`, built **once per
+  table** (memoized on the table instance) and shared by every
+  simulator instance — all rate points of a sweep and all bisection
+  probes of a saturation search reuse one compile, leaving only O(#VC
+  slots) per-run state to allocate per measurement;
+* **pre-generated traffic traces** — injection events for every built-in
+  traffic pattern are pre-computed in large numpy chunks by
+  :class:`~repro.sim.trace.TraceStream`, which replicates the reference
+  engine's exact RNG draw order from raw PCG64 words.  The generation
+  block of the cycle loop is then just "drain this cycle's precomputed
+  arrivals": zero per-packet Python RNG or closure calls.  (Custom
+  patterns without a :class:`~repro.sim.traffic.DestSpec` fall back to
+  the inline scalar path.);
 * **integer channel ids** — directed link ``k`` of the topology is
   channel ``k``; the injection pseudo-channel of router ``r`` is channel
   ``L + r``.  Per-(channel, VC) state lives in flat lists indexed by
@@ -29,12 +41,6 @@ compiled down to integer-indexed flat structures:
   until then each revisit costs one integer compare.  Busy timers are
   monotone, so a snoozed head can never miss the first cycle at which
   the reference would have granted it;
-* **batched per-cycle RNG** — the Bernoulli injection draws for all
-  routers come from one ``rng.random(n)`` call per cycle (exactly the
-  reference's draw), converted once to Python floats; destination and
-  size draws then consume the stream in the identical per-packet order
-  (the destination closure and the size draw are invoked exactly as the
-  reference invokes them);
 * **runnable-router bitmask with a timer wheel** — arbitration visits
   only routers in the ``runnable`` mask (ascending bit order — the
   reference's same-cycle credit propagation order).  A router whose
@@ -53,6 +59,12 @@ compiled down to integer-indexed flat structures:
 The reference engine stays the differential oracle (and the base class
 for :class:`~repro.sim.stats.InstrumentedSimulator`); this engine is the
 workhorse behind sweeps and saturation searches (``engine="fast"``).
+
+One caveat of trace-fed generation: the simulator's Generator is
+consumed in pre-drawn chunks, so mutating ``sim.rate`` mid-run diverges
+from the reference's draw stream for the remaining cycles (setting it to
+0 — draining — is exact: generation stops outright, matching the
+reference's ``lam <= 0`` early-out).
 """
 
 from __future__ import annotations
@@ -71,12 +83,16 @@ from .network import (
     SimStats,
 )
 from .packet import CONTROL_FLITS, DATA_FLITS
+from .trace import TraceStream
 from .traffic import TrafficPattern
 
 #: Queued packet record: (ready, key, size, src, dst, birth) where
 #: ``key`` is the precomputed request at the downstream router (-1 =
 #: eject there, else the output channel id to request).
 PacketRecord = Tuple[int, int, int, int, int, int]
+
+#: Injection event record: (cycle, node, vc, key, size, dst).
+EventRecord = Tuple[int, int, int, int, int, int]
 
 #: Engine name -> simulator class.  ``DEFAULT_ENGINE`` is what sweeps,
 #: the runner, and the CLI use unless told otherwise; ``"reference"``
@@ -97,34 +113,25 @@ def resolve_engine(engine: str):
         ) from None
 
 
-class FastNetworkSimulator:
-    """Flat-array drop-in for :class:`NetworkSimulator` (same stats)."""
+class CompiledNetwork:
+    """Immutable flat-array compilation of one :class:`RoutingTable`.
 
-    def __init__(
-        self,
-        table: RoutingTable,
-        traffic: TrafficPattern,
-        injection_rate: float,
-        seed: int = 0,
-        vc_buffer_flits: int = DEFAULT_VC_BUFFER_FLITS,
-        router_latency: int = ROUTER_LATENCY,
-        link_latency: int = LINK_LATENCY,
-        extra_hop_latency: int = 0,
-    ):
+    Everything a :class:`FastNetworkSimulator` derives from the table
+    alone — no per-run parameters, no mutable state — so one compile
+    serves every (rate, seed, buffer-size) measurement over that table.
+    Obtain instances through :meth:`for_table`, which memoizes the
+    compile on the table object itself.
+    """
+
+    def __init__(self, table: RoutingTable):
         self.table = table
-        self.topo = table.topology
-        self.traffic = traffic
-        self.rate = float(injection_rate)
-        self.rng = np.random.default_rng(seed)
-        self.vc_cap = vc_buffer_flits
-        self.hop_delay = router_latency + link_latency + extra_hop_latency
-        self.num_vcs = table.num_vcs
-
-        n = self.topo.n
-        self.n = n
-        V = self.num_vcs
-        links = list(self.topo.directed_links)
+        topo = table.topology
+        n = topo.n
+        V = table.num_vcs
+        links = list(topo.directed_links)
         L = len(links)
+        self.n = n
+        self.num_vcs = V
         self.num_links = L
 
         # Dense routing state.  -1 marks (node, src, dst) triples no flow
@@ -154,6 +161,7 @@ class FastNetworkSimulator:
         self.inj_base = [(L + r) * V for r in range(n)]
 
         nq = (L + n) * V
+        self.num_slots = nq
         # Scan helpers: occupancy-mask -> tuple of set VC indices
         # (ascending, i.e. the reference VC scan order), and slot ->
         # upstream router to wake when that buffer frees (-1 for
@@ -164,6 +172,98 @@ class FastNetworkSimulator:
         self.slot_src = [
             self.ch_src[slot // V] if slot < L * V else -1 for slot in range(nq)
         ]
+        self.slot_ch = [s // V for s in range(nq)]
+        # Grant-path decode tables: slot -> VC index, channel base slot,
+        # and the occupancy-bit clear mask, so dequeues never divide.
+        self.slot_vc = [s % V for s in range(nq)]
+        self.slot_qbase = [s - s % V for s in range(nq)]
+        self.slot_clear = [~(1 << (s % V)) for s in range(nq)]
+
+        # Injection-time request key per flow: the output channel a
+        # source-queued packet will request at its own router (-1 =
+        # immediate ejection, src == dst).  Shared by the inline path
+        # and, as a numpy table, by vectorized trace-event compilation.
+        inj_key = [-1] * (n * n)
+        for src in range(n):
+            base = src * n
+            for dst in range(n):
+                if dst == src:
+                    continue
+                hop = nh[(base + src) * n + dst]
+                if hop >= 0:
+                    inj_key[base + dst] = out_id[base + hop]
+        self.inj_key = inj_key
+        self.inj_key_np = np.array(inj_key, dtype=np.int64)
+        self.vc_of_np = np.array(vc_of, dtype=np.int64)
+
+    @classmethod
+    def for_table(cls, table: RoutingTable) -> "CompiledNetwork":
+        """The table's compiled form, built at most once per table."""
+        cached = table.__dict__.get("_compiled_network")
+        if cached is None:
+            cached = cls(table)
+            table.__dict__["_compiled_network"] = cached
+        return cached
+
+
+class FastNetworkSimulator:
+    """Flat-array drop-in for :class:`NetworkSimulator` (same stats)."""
+
+    #: ``run_point`` passes a shared :class:`CompiledNetwork` when set.
+    supports_compiled = True
+
+    #: Trace chunk length override (None = :data:`~repro.sim.trace.
+    #: TRACE_CHUNK_CYCLES`); tests shrink it to stress chunk boundaries.
+    trace_chunk_cycles: Optional[int] = None
+
+    def __init__(
+        self,
+        table: RoutingTable,
+        traffic: TrafficPattern,
+        injection_rate: float,
+        seed: int = 0,
+        vc_buffer_flits: int = DEFAULT_VC_BUFFER_FLITS,
+        router_latency: int = ROUTER_LATENCY,
+        link_latency: int = LINK_LATENCY,
+        extra_hop_latency: int = 0,
+        compiled: Optional[CompiledNetwork] = None,
+    ):
+        self.table = table
+        self.topo = table.topology
+        self.traffic = traffic
+        self.rate = float(injection_rate)
+        self.rng = np.random.default_rng(seed)
+        self.vc_cap = vc_buffer_flits
+        self.hop_delay = router_latency + link_latency + extra_hop_latency
+
+        if compiled is None:
+            compiled = CompiledNetwork.for_table(table)
+        elif compiled.table is not table:
+            raise ValueError("compiled network was built for a different table")
+        self.cn = compiled
+        n = compiled.n
+        self.n = n
+        self.num_vcs = compiled.num_vcs
+        self.num_links = compiled.num_links
+        # Hot-loop views of the immutable compile.
+        self.nh = compiled.nh
+        self.vc_of = compiled.vc_of
+        self.out_id = compiled.out_id
+        self.inj_key = compiled.inj_key
+        self.ch_dst = compiled.ch_dst
+        self.in_bases = compiled.in_bases
+        self.inj_base = compiled.inj_base
+        self.vcs_of = compiled.vcs_of
+        self.slot_src = compiled.slot_src
+        self.slot_ch = compiled.slot_ch
+        self.slot_vc = compiled.slot_vc
+        self.slot_qbase = compiled.slot_qbase
+        self.slot_clear = compiled.slot_clear
+
+        # -- per-run mutable state (cheap: O(slots)) -----------------------
+        nq = compiled.num_slots
+        V = compiled.num_vcs
+        L = compiled.num_links
         # Queue state per slot: head record, earliest cycle the head
         # could possibly act (snooze), tail deque, per-channel occupancy
         # bitmask (indexed by the channel's base slot), and the
@@ -173,7 +273,6 @@ class FastNetworkSimulator:
         self.tail: List[Deque[PacketRecord]] = [deque() for _ in range(nq)]
         self.masks = [0] * nq
         self.cwait = [0] * nq
-        self.slot_ch = [s // V for s in range(nq)]
 
         self.free = [self.vc_cap] * nq
         self.busy_until = [0] * L
@@ -198,6 +297,13 @@ class FastNetworkSimulator:
         self.wake = [0] * n
         self.wheel: Dict[int, int] = {}
 
+        # Trace state: pre-generated injection events (built lazily on
+        # the first generating segment; rebuilt if the rate changes).
+        self._trace: Optional[TraceStream] = None
+        self._events: List[EventRecord] = []
+        self._ev_i = 0
+        self._trace_end = 0
+
         self._pid = 0
         self.cycle = 0
         self.measuring = False
@@ -209,13 +315,59 @@ class FastNetworkSimulator:
         self.lat_count = 0
         self.in_flight = 0
 
+    # -- trace plumbing --------------------------------------------------------
+    def _trace_for(self, lam: float) -> Optional[TraceStream]:
+        """The event trace for rate ``lam`` (None => inline generation)."""
+        if self.traffic.dest_spec is None:
+            return None
+        trace = self._trace
+        if trace is None or trace.rate != lam:
+            chunk = self.trace_chunk_cycles
+            trace = TraceStream(
+                self.traffic, self.n, lam, self.rng,
+                **({"chunk_cycles": chunk} if chunk else {}),
+            )
+            trace.next_cycle = self.cycle
+            self._trace = trace
+            self._events = []
+            self._ev_i = 0
+            self._trace_end = self.cycle
+        return trace
+
+    def _compile_events(self, chunk) -> Tuple[List[EventRecord], int]:
+        """Turn one trace chunk into ready-to-inject event tuples.
+
+        The flow's VC and injection-time request key resolve here with
+        two vectorized gathers, so the cycle loop only drains tuples.
+        """
+        end, cyc, src, dst, size = chunk
+        if cyc.size == 0:
+            return [], end
+        flow = src * self.n + dst
+        vc = self.cn.vc_of_np[flow]
+        key = self.cn.inj_key_np[flow]
+        return (
+            list(
+                zip(
+                    cyc.tolist(),
+                    src.tolist(),
+                    vc.tolist(),
+                    key.tolist(),
+                    size.tolist(),
+                    dst.tolist(),
+                )
+            ),
+            end,
+        )
+
     # -- the fused cycle loop --------------------------------------------------
     def _run_cycles(self, ncycles: int) -> None:
         """Advance the simulation by ``ncycles`` cycles.
 
         One loop frame owns generation, injection, and arbitration so
         every hot container is a local.  Each cycle performs, in order:
-        per-node Bernoulli generation (one batched draw), source-queue
+        per-node generation (draining the pre-generated trace, or the
+        inline scalar draws for spec-less patterns), source-queue
         injection, and per-router arbitration in ascending router index —
         exactly the reference's :meth:`~NetworkSimulator.step` sequence.
         """
@@ -226,10 +378,10 @@ class FastNetworkSimulator:
         n = self.n
         V = self.num_vcs
 
-        # generation / injection state.  ``dest_fn`` and the inlined
-        # size draw perform exactly the calls the reference's
-        # ``TrafficPattern.destination`` / ``packet_size`` wrappers make,
-        # in the same order — the differential suite pins this.
+        # generation / injection state.  With a trace, this cycle's
+        # arrivals are precomputed tuples; the inline fallback performs
+        # exactly the calls the reference's ``TrafficPattern`` wrappers
+        # make, in the same order — the differential suite pins both.
         lam = self.rate
         whole = int(lam)
         frac = lam - whole
@@ -237,6 +389,12 @@ class FastNetworkSimulator:
         rng_random = rng.random
         dest = self.traffic.dest_fn
         dfrac = self.traffic.data_fraction
+        trace = self._trace_for(lam) if lam > 0 else None
+        use_trace = trace is not None
+        events = self._events
+        ev_i = self._ev_i
+        ev_len = len(events)
+        trace_end = self._trace_end
         source_q = self.source_q
         pending = self.pending
         pollable = self.pollable
@@ -246,6 +404,7 @@ class FastNetworkSimulator:
         inj_base = self.inj_base
         inj_busy = self.inj_busy
         vc_of = self.vc_of
+        inj_key = self.inj_key
         num_links = self.num_links
         link_slots = num_links * V
 
@@ -272,6 +431,9 @@ class FastNetworkSimulator:
         ch_dst = self.ch_dst
         vcs_of = self.vcs_of
         slot_src = self.slot_src
+        slot_vc = self.slot_vc
+        slot_qbase = self.slot_qbase
+        slot_clear = self.slot_clear
         hop_delay = self.hop_delay
         one = [0]  # reusable single-requester list (fast path)
 
@@ -287,16 +449,32 @@ class FastNetworkSimulator:
         in_flight = self.in_flight
 
         while cycle < end:
-            # -- generation: one batched uniform draw per cycle (identical
-            # stream positions to the reference's vector draw), unpacked
-            # to Python floats once instead of n numpy scalar reads.
-            if lam > 0:
+            # -- generation: drain this cycle's precomputed arrivals (the
+            # trace replicates the reference's draw stream bit-exactly),
+            # or fall back to inline scalar draws for custom patterns.
+            if use_trace:
+                if cycle >= trace_end:
+                    events, trace_end = self._compile_events(trace.next_chunk())
+                    ev_i = 0
+                    ev_len = len(events)
+                while ev_i < ev_len:
+                    ev = events[ev_i]
+                    if ev[0] != cycle:
+                        break
+                    ev_i += 1
+                    node = ev[1]
+                    pid += 1
+                    source_q[node].append((ev[2], ev[3], ev[4], ev[5], cycle))
+                    pending |= 1 << node
+                    in_flight += 1
+                    if measuring:
+                        offered += 1
+            elif lam > 0:
                 draws = rng_random(n).tolist()
                 if whole == 0:
-                    # Sub-unit rates (the universal case): visit only the
-                    # Bernoulli winners, in ascending node order — the
-                    # same nodes, in the same order, that the reference
-                    # loop injects for.
+                    # Sub-unit rates: visit only the Bernoulli winners,
+                    # in ascending node order — the same nodes, in the
+                    # same order, that the reference loop injects for.
                     node = -1
                     for d in draws:
                         node += 1
@@ -304,13 +482,15 @@ class FastNetworkSimulator:
                             continue
                         dst = dest(node, rng)
                         size = DATA_FLITS if rng_random() < dfrac else CONTROL_FLITS
-                        if dst == node:
-                            key = -1
-                        else:
-                            key = out_id[node * n + nh[(node * n + node) * n + dst]]
                         pid += 1
                         source_q[node].append(
-                            (vc_of[node * n + dst], key, size, dst, cycle)
+                            (
+                                vc_of[node * n + dst],
+                                inj_key[node * n + dst],
+                                size,
+                                dst,
+                                cycle,
+                            )
                         )
                         pending |= 1 << node
                         in_flight += 1
@@ -326,15 +506,15 @@ class FastNetworkSimulator:
                                 if rng_random() < dfrac
                                 else CONTROL_FLITS
                             )
-                            if dst == node:
-                                key = -1
-                            else:
-                                key = out_id[
-                                    node * n + nh[(node * n + node) * n + dst]
-                                ]
                             pid += 1
                             source_q[node].append(
-                                (vc_of[node * n + dst], key, size, dst, cycle)
+                                (
+                                    vc_of[node * n + dst],
+                                    inj_key[node * n + dst],
+                                    size,
+                                    dst,
+                                    cycle,
+                                )
                             )
                             pending |= 1 << node
                             in_flight += 1
@@ -500,8 +680,7 @@ class FastNetworkSimulator:
                             heads[slot] = nxt_rec
                             snooze[slot] = nxt_rec[0]
                         else:
-                            vc = slot % V
-                            masks[slot - vc] &= ~(1 << vc)
+                            masks[slot_qbase[slot]] &= slot_clear[slot]
                         free[slot] += size
                         if slot >= link_slots:
                             # Freed inj-buffer space: the source port may
@@ -539,7 +718,7 @@ class FastNetworkSimulator:
                         slot = reqs[start + k - nr if start + k >= nr else start + k]
                         rec = heads[slot]
                         size = rec[2]
-                        vc = slot % V
+                        vc = slot_vc[slot]
                         oslot = out_base + vc
                         if free[oslot] < size:
                             cwait[oslot] = 1
@@ -550,7 +729,7 @@ class FastNetworkSimulator:
                             heads[slot] = nxt_rec
                             snooze[slot] = nxt_rec[0]
                         else:
-                            masks[slot - vc] &= ~(1 << vc)
+                            masks[slot_qbase[slot]] &= slot_clear[slot]
                         free[slot] += size
                         if slot >= link_slots:
                             pollable |= 1 << (slot_ch[slot] - num_links)
@@ -602,6 +781,9 @@ class FastNetworkSimulator:
         self.pending = pending
         self.pollable = pollable
         self.runnable = runnable
+        self._events = events
+        self._ev_i = ev_i
+        self._trace_end = trace_end
         self._pid = pid
         self.offered = offered
         self.ejected = ejected

@@ -11,13 +11,13 @@ packets/node/ns using each link class's clock (small 3.6 GHz, medium
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
 from ..routing.tables import RoutingTable
 from ..topology.layout import CLASS_CLOCK_GHZ
-from .fastnet import DEFAULT_ENGINE, resolve_engine
+from .fastnet import CompiledNetwork, DEFAULT_ENGINE, resolve_engine
 from .network import NetworkSimulator, SimStats
 from .traffic import TrafficPattern
 
@@ -84,6 +84,19 @@ class SweepResult:
         return x, y
 
 
+def compile_for_engine(engine: str, table: RoutingTable) -> Optional[CompiledNetwork]:
+    """The table's :class:`CompiledNetwork` when ``engine`` consumes one.
+
+    Sweeps and saturation searches call this once and thread the result
+    through every :func:`run_point`, so a whole curve (and every
+    bisection probe) shares a single compile.
+    """
+    cls = resolve_engine(engine)
+    if getattr(cls, "supports_compiled", False):
+        return CompiledNetwork.for_table(table)
+    return None
+
+
 def run_point(
     table: RoutingTable,
     traffic: TrafficPattern,
@@ -92,12 +105,22 @@ def run_point(
     measure: int = 2000,
     seed: int = 0,
     engine: str = DEFAULT_ENGINE,
+    compiled: Optional[CompiledNetwork] = None,
     **sim_kw,
 ) -> SimStats:
     """One measurement.  ``engine`` picks the simulator implementation
     (``"fast"`` flat-array engine or the ``"reference"`` oracle); both
-    produce identical :class:`SimStats` for identical inputs."""
-    sim = resolve_engine(engine)(table, traffic, rate, seed=seed, **sim_kw)
+    produce identical :class:`SimStats` for identical inputs.
+
+    ``compiled`` shares a pre-built :class:`CompiledNetwork` across
+    measurements (engines that don't consume one ignore it; the fast
+    engine also falls back to the per-table memo when it is None).
+    """
+    cls = resolve_engine(engine)
+    if getattr(cls, "supports_compiled", False):
+        sim = cls(table, traffic, rate, seed=seed, compiled=compiled, **sim_kw)
+    else:
+        sim = cls(table, traffic, rate, seed=seed, **sim_kw)
     return sim.run(warmup, measure)
 
 
@@ -128,16 +151,20 @@ def classify_point(
 
 def assemble_curve(
     rates: Sequence[float],
-    stats_list: Sequence[SimStats],
+    stats_list: Iterable[SimStats],
     name: str,
     link_class: Optional[str],
     stop_after_saturation: bool = True,
 ) -> SweepResult:
     """Build a :class:`SweepResult` from per-rate measurements.
 
-    Applies the same zero-load tracking and early-stop truncation as the
-    serial sweep, so a curve assembled from independently-computed (or
-    cached) points is bit-identical to one swept in-process.
+    The single owner of zero-load tracking, point classification, and
+    early-stop truncation: the serial sweep, the parallel runner, and
+    cached replays all assemble their curves here, so identical
+    measurements always produce bit-identical curves.  ``stats_list``
+    may be a lazy iterable — consumption stops at the truncation point,
+    which is how :func:`latency_throughput_curve` avoids simulating
+    rates past saturation.
     """
     result = SweepResult(name=name, link_class=link_class)
     zero_load: Optional[float] = None
@@ -165,24 +192,30 @@ def latency_throughput_curve(
     engine: str = DEFAULT_ENGINE,
     **sim_kw,
 ) -> SweepResult:
-    """Sweep offered injection rates and build the latency curve."""
-    result = SweepResult(
+    """Sweep offered injection rates and build the latency curve.
+
+    The routed topology compiles once (:func:`compile_for_engine`) and
+    every rate point reuses it; measurements stream lazily into
+    :func:`assemble_curve`, which owns classification and early-stop
+    truncation — a saturated prefix ends the sweep without simulating
+    the remaining rates.
+    """
+    compiled = compile_for_engine(engine, table)
+
+    def measurements() -> Iterable[SimStats]:
+        for rate in rates:
+            yield run_point(
+                table, traffic, rate, warmup=warmup, measure=measure,
+                seed=seed, engine=engine, compiled=compiled, **sim_kw
+            )
+
+    return assemble_curve(
+        rates,
+        measurements(),
         name=name or table.topology.name,
         link_class=link_class or table.topology.link_class,
+        stop_after_saturation=stop_after_saturation,
     )
-    zero_load: Optional[float] = None
-    for rate in rates:
-        stats = run_point(
-            table, traffic, rate, warmup=warmup, measure=measure, seed=seed,
-            engine=engine, **sim_kw
-        )
-        if zero_load is None and np.isfinite(stats.avg_latency_cycles):
-            zero_load = stats.avg_latency_cycles
-        point = classify_point(rate, stats, zero_load)
-        result.points.append(point)
-        if point.saturated and stop_after_saturation:
-            break
-    return result
 
 
 def find_saturation(
@@ -200,12 +233,25 @@ def find_saturation(
     """Binary-search the saturation injection rate (packets/node/cycle).
 
     Cheaper than a full sweep when only the saturation point is needed
-    (Fig. 11's throughput comparisons).
+    (Fig. 11's throughput comparisons).  All probes share one network
+    compile, and results are memoized by offered rate, so no rate is
+    ever simulated twice within one search (the ``lo``/``hi`` endpoint
+    probes included).
     """
-    base = run_point(
-        table, traffic, lo, warmup=warmup, measure=measure, seed=seed,
-        engine=engine, **sim_kw
-    )
+    compiled = compile_for_engine(engine, table)
+    probes: Dict[float, SimStats] = {}
+
+    def probe(rate: float) -> SimStats:
+        st = probes.get(rate)
+        if st is None:
+            st = run_point(
+                table, traffic, rate, warmup=warmup, measure=measure,
+                seed=seed, engine=engine, compiled=compiled, **sim_kw
+            )
+            probes[rate] = st
+        return st
+
+    base = probe(lo)
     zero_load = base.avg_latency_cycles
     if not np.isfinite(zero_load):
         return 0.0
@@ -220,10 +266,7 @@ def find_saturation(
         return 0.0
 
     def saturated(rate: float) -> bool:
-        st = run_point(
-            table, traffic, rate, warmup=warmup, measure=measure, seed=seed,
-            engine=engine, **sim_kw
-        )
+        st = probe(rate)
         lat = st.avg_latency_cycles
         return (
             not np.isfinite(lat)

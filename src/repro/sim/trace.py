@@ -1,0 +1,374 @@
+"""Vectorized traffic traces: pre-generated injection event streams.
+
+The reference simulator's per-cycle generation makes one scalar
+``destination`` closure call and one scalar ``rng.random()`` size draw
+per packet — the RNG-bound work PR 2's engine identified as the sweep
+hot path's ceiling.  :class:`TraceStream` removes it: injection events
+``(cycle, src, dst, size)`` are pre-generated in large numpy chunks from
+**raw 64-bit PCG64 words** (:mod:`repro.sim.rngstream`), replicating the
+reference engine's exact draw order so the fast engine's statistics stay
+bit-identical to the oracle:
+
+* per cycle, ``n`` Bernoulli doubles (the reference's ``rng.random(n)``);
+* per winning node, in ascending node order, the pattern's destination
+  draws and one packet-size double, interleaved exactly as the scalar
+  wrappers interleave them.
+
+Two generation paths share one buffered raw-word stream:
+
+* the **vectorized path** (sub-unit rates, every reachable ``integers``
+  bound ``>= 2``) exploits constant per-packet word consumption: a cheap
+  per-cycle prefix-sum walk pins each cycle's buffer offset, then all
+  Bernoulli winners, destination draws (Lemire-32 with half-word cache
+  arithmetic), and size draws of a whole chunk resolve as array ops;
+* the **scalar-emulation path** (rates ``>= 1``, degenerate bounds, or
+  the one-in-billions Lemire rejection the vectorized path detects and
+  defers to) walks the same buffer with plain Python integer arithmetic
+  — still far cheaper than per-packet Generator calls.
+
+A trace owns its Generator outright: it may pre-draw past the cycles
+consumed so far, which is invisible to the simulation (generation is the
+only RNG consumer in both engines).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .packet import CONTROL_FLITS, DATA_FLITS
+from .rngstream import (
+    DOUBLE_SCALE,
+    doubles_from_raw,
+    lemire32,
+    lemire32_scalar,
+    take_raw,
+)
+from .traffic import TrafficPattern
+
+#: Cycles generated per chunk.  Large enough to amortize the numpy pass,
+#: small enough that a short run never pre-draws absurdly far ahead.
+TRACE_CHUNK_CYCLES = 2048
+
+_U32 = np.uint64(0xFFFFFFFF)
+_S32 = np.uint64(32)
+
+#: One chunk of injection events: (end_cycle, cycles, srcs, dsts, sizes)
+#: with events sorted by (cycle, src) — the reference injection order —
+#: covering every cycle in [previous end, end_cycle).
+TraceChunk = Tuple[int, np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+
+
+class TraceStream:
+    """Pre-generated injection events for one (pattern, rate, seed) run.
+
+    Requires ``traffic.dest_spec`` (every built-in pattern has one);
+    callers with a spec-less custom pattern should fall back to scalar
+    generation against the Generator directly.
+    """
+
+    def __init__(
+        self,
+        traffic: TrafficPattern,
+        n_nodes: int,
+        rate: float,
+        rng: np.random.Generator,
+        chunk_cycles: int = TRACE_CHUNK_CYCLES,
+    ):
+        spec = traffic.dest_spec
+        if spec is None:
+            raise ValueError(
+                f"pattern {traffic.name!r} has no dest_spec; use scalar "
+                f"generation instead"
+            )
+        if rate <= 0:
+            raise ValueError("TraceStream requires a positive injection rate")
+        self.spec = spec
+        self.n = n_nodes
+        self.rate = float(rate)
+        self.whole = int(self.rate)
+        self.frac = self.rate - self.whole
+        self.dfrac = traffic.data_fraction
+        self.rng = rng
+        self.chunk_cycles = int(chunk_cycles)
+        self.next_cycle = 0
+        # Buffered raw words + the bit generator's half-word cache state
+        # (tracked here: all consumption goes through this buffer).
+        self._buf = np.empty(0, dtype=np.uint64)
+        self._pos = 0
+        self._cache_has = 0
+        self._cache_val = 0
+        kind = spec.kind
+        self._has_int = kind != "table"
+        self._extra_dbl = 2 if kind == "hotspot" else 1  # non-Bernoulli doubles/packet
+        self._vec_ok = self.whole == 0 and (
+            not self._has_int or spec.min_int_bound(n_nodes) >= 2
+        )
+        # Scalar-path lookup lists (built lazily on first use).
+        self._scalar_tables: Optional[tuple] = None
+
+    # -- buffer management ---------------------------------------------------
+    def _ensure(self, words: int) -> None:
+        avail = self._buf.size - self._pos
+        if avail >= words:
+            return
+        fresh = take_raw(self.rng, max(words - avail, 4096))
+        if avail > 0:
+            self._buf = np.concatenate([self._buf[self._pos :], fresh])
+        else:
+            self._buf = fresh
+        self._pos = 0
+
+    # -- public API ----------------------------------------------------------
+    def next_chunk(self) -> TraceChunk:
+        """Generate the next chunk of cycles (at least one)."""
+        if self._vec_ok:
+            out = self._chunk_vectorized()
+            if out is not None:
+                return out
+            # A Lemire rejection was detected: nothing was committed, so
+            # the scalar emulation below replays the same words exactly.
+        return self._chunk_scalar()
+
+    # -- vectorized generation -----------------------------------------------
+    def _chunk_vectorized(self) -> Optional[TraceChunk]:
+        n = self.n
+        spec = self.spec
+        frac = self.frac
+        C = self.chunk_cycles
+        extra = self._extra_dbl
+        has_int = self._has_int
+        # Worst case one cycle: every node wins.
+        worst = n + n * extra + ((n + 1) // 2 + 1 if has_int else 0)
+        expect = n + int(n * frac * (extra + 1.5)) + 2
+        self._ensure(max(worst + 1, C * expect))
+
+        V = self._buf[self._pos :]
+        D = doubles_from_raw(V)
+        W = D < frac
+        P = np.concatenate(([0], np.cumsum(W)))
+        avail = V.size
+
+        # The per-cycle offset walk: data-dependent, but four integer
+        # ops per cycle off the prefix sums.
+        offs: List[int] = []
+        ks: List[int] = []
+        hs: List[int] = []
+        pos = 0
+        h = self._cache_has
+        cyc = 0
+        while cyc < C and pos + worst <= avail:
+            k = int(P[pos + n]) - int(P[pos])
+            offs.append(pos)
+            ks.append(k)
+            hs.append(h)
+            pos += n + extra * k
+            if has_int:
+                pos += (k + 1 - h) // 2
+                h = (h + k) & 1
+            cyc += 1
+
+        base_cycle = self.next_cycle
+        end_cycle = base_cycle + cyc
+        offs_a = np.array(offs, dtype=np.int64)
+        ks_a = np.array(ks, dtype=np.int64)
+        total = int(ks_a.sum())
+        if total == 0:
+            self._commit(pos, h, None, end_cycle)
+            empty = np.empty(0, dtype=np.int64)
+            return end_cycle, empty, empty, empty, empty
+
+        # All winners of the chunk, in (cycle, node) order.
+        Wm = W[offs_a[:, None] + np.arange(n)]
+        rows, srcs = np.nonzero(Wm)
+        cycles = base_cycle + rows
+        kstart = np.concatenate(([0], np.cumsum(ks_a)))
+        r = np.arange(total) - kstart[rows]  # within-cycle packet rank
+        off_pkt = offs_a[rows]
+        h_cyc = np.array(hs, dtype=np.int64)[rows]
+
+        if spec.kind == "table":
+            sizepos = off_pkt + n + r
+            dsts = spec.table[srcs]
+            last_word = None
+        else:
+            pre = (r + 1 - h_cyc) // 2  # int words consumed by earlier ranks
+            consumes = ((h_cyc + r) & 1) == 0
+            if spec.kind == "hotspot":
+                hotpos = off_pkt + n + 2 * r + pre
+                intpos = hotpos + 1
+                hb = spec.bounds[srcs]
+                eff_hot = (D[hotpos] < spec.hot_fraction) & (hb > 0)
+                bounds = np.where(eff_hot, hb, n - 1)
+            else:
+                intpos = off_pkt + n + r + pre
+                if spec.kind == "uniform":
+                    bounds = n - 1
+                else:  # memory
+                    bounds = spec.bounds[srcs]
+            sizepos = intpos + consumes
+            halves, last_word = self._halves(V, intpos, consumes)
+            vals, reject = lemire32(halves, bounds)
+            if reject.any():
+                return None
+            if spec.kind == "uniform":
+                dsts = vals + (vals >= srcs)
+            elif spec.kind == "memory":
+                dsts = spec.table[srcs, vals]
+            else:
+                dsts = np.where(
+                    eff_hot,
+                    spec.table[srcs, np.where(eff_hot, vals, 0)],
+                    vals + (vals >= srcs),
+                )
+
+        sizes = np.where(D[sizepos] < self.dfrac, DATA_FLITS, CONTROL_FLITS)
+        self._commit(pos, h, last_word, end_cycle)
+        return end_cycle, cycles, srcs, dsts.astype(np.int64), sizes
+
+    def _halves(self, V, intpos, consumes):
+        """Half-words served to the chunk's bounded draws, in order.
+
+        Consuming draws read the low half of a fresh word; the draw
+        after each reads that word's cached high half; a leading
+        non-consuming draw reads the half carried over from the previous
+        chunk.  Returns the halves and the last fresh word (the pending
+        high-half source if the chunk ends mid-word).
+        """
+        halves = np.empty(intpos.size, dtype=np.uint64)
+        cons_pos = intpos[consumes]
+        cons_words = V[cons_pos]
+        halves[consumes] = cons_words & _U32
+        nc = ~consumes
+        if nc.any():
+            cand = np.where(consumes, intpos, np.int64(-1))
+            ff = np.maximum.accumulate(cand)[nc]
+            vals_nc = np.empty(ff.size, dtype=np.uint64)
+            lead = ff < 0
+            vals_nc[lead] = np.uint64(self._cache_val)
+            vals_nc[~lead] = V[ff[~lead]] >> _S32
+            halves[nc] = vals_nc
+        last_word = int(cons_words[-1]) if cons_words.size else None
+        return halves, last_word
+
+    def _commit(self, consumed, cache_has, last_word, end_cycle) -> None:
+        self._pos += consumed
+        self._cache_has = cache_has
+        if cache_has and last_word is not None:
+            self._cache_val = last_word >> 32
+        self.next_cycle = end_cycle
+
+    # -- scalar emulation ----------------------------------------------------
+    def _scalar_lookups(self):
+        if self._scalar_tables is None:
+            spec = self.spec
+            table = spec.table.tolist() if spec.table is not None else None
+            bounds = spec.bounds.tolist() if spec.bounds is not None else None
+            self._scalar_tables = (table, bounds)
+        return self._scalar_tables
+
+    def _chunk_scalar(self) -> TraceChunk:
+        """Exact scalar emulation over the raw buffer (any rate, any
+        bounds, rejection loops included)."""
+        n = self.n
+        spec = self.spec
+        kind = spec.kind
+        whole = self.whole
+        frac = self.frac
+        dfrac = self.dfrac
+        hf = spec.hot_fraction
+        table, bounds = self._scalar_lookups()
+        C = self.chunk_cycles
+
+        start = self._pos
+        words = self._buf[start:].tolist()
+        ext: List[int] = []
+        navail = len(words)
+
+        def word(i: int) -> int:
+            if i < navail:
+                return words[i]
+            j = i - navail
+            while j >= len(ext):
+                ext.extend(take_raw(self.rng, 4096).tolist())
+            return ext[j]
+
+        pos = 0
+        h = self._cache_has
+        hval = self._cache_val
+
+        def next32() -> int:
+            nonlocal pos, h, hval
+            if h:
+                h = 0
+                return hval
+            w = word(pos)
+            pos += 1
+            h = 1
+            hval = w >> 32
+            return w & 0xFFFFFFFF
+
+        def lem(bound: int) -> int:
+            return lemire32_scalar(next32, bound)
+
+        cycles: List[int] = []
+        srcs: List[int] = []
+        dsts: List[int] = []
+        sizes: List[int] = []
+        base_cycle = self.next_cycle
+        for c in range(C):
+            cycno = base_cycle + c
+            bern = [word(pos + i) for i in range(n)]
+            pos += n
+            for node in range(n):
+                count = whole + (
+                    1 if (bern[node] >> 11) * DOUBLE_SCALE < frac else 0
+                )
+                for _ in range(count):
+                    if kind == "table":
+                        dst = table[node]
+                    elif kind == "uniform":
+                        d = lem(n - 1)
+                        dst = d if d < node else d + 1
+                    elif kind == "memory":
+                        dst = table[node][lem(bounds[node])]
+                    else:  # hotspot
+                        dst = -1
+                        if (word(pos) >> 11) * DOUBLE_SCALE < hf:
+                            pos += 1
+                            b = bounds[node]
+                            if b:
+                                dst = table[node][lem(b)]
+                        else:
+                            pos += 1
+                        if dst < 0:
+                            d = lem(n - 1)
+                            dst = d if d < node else d + 1
+                    size = (
+                        DATA_FLITS
+                        if (word(pos) >> 11) * DOUBLE_SCALE < dfrac
+                        else CONTROL_FLITS
+                    )
+                    pos += 1
+                    cycles.append(cycno)
+                    srcs.append(node)
+                    dsts.append(dst)
+                    sizes.append(size)
+
+        if ext:
+            self._buf = np.concatenate(
+                [self._buf, np.array(ext, dtype=np.uint64)]
+            )
+        self._pos = start + pos
+        self._cache_has = h
+        self._cache_val = hval
+        end_cycle = base_cycle + C
+        self.next_cycle = end_cycle
+        return (
+            end_cycle,
+            np.array(cycles, dtype=np.int64),
+            np.array(srcs, dtype=np.int64),
+            np.array(dsts, dtype=np.int64),
+            np.array(sizes, dtype=np.int64),
+        )

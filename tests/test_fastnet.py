@@ -1,6 +1,7 @@
 """Differential suite: the fast engine must match the reference engine
 bit-for-bit, plus regression pins for the corrected throughput accounting
-and the ``find_saturation`` base-probe fix."""
+and the ``find_saturation`` base-probe fix, plus the compiled-network
+reuse and trace chunk-boundary invariants."""
 
 import numpy as np
 import pytest
@@ -8,6 +9,7 @@ import pytest
 from repro.routing import assign_vcs, build_routing_table, ndbt_route
 from repro.sim import (
     ENGINES,
+    CompiledNetwork,
     FastNetworkSimulator,
     NetworkSimulator,
     bit_complement,
@@ -212,6 +214,99 @@ class TestThroughputAccounting:
         # Accepted throughput stays a substantial fraction of the
         # saturation rate (~0.2 for the NDBT-routed 4x5 folded torus).
         assert st.throughput_packets_node_cycle > 0.1
+
+
+class TestCompiledNetworkReuse:
+    def test_for_table_memoizes(self, table_4x5):
+        a = CompiledNetwork.for_table(table_4x5)
+        b = CompiledNetwork.for_table(table_4x5)
+        assert a is b
+        assert a.table is table_4x5
+
+    def test_two_runs_from_one_compile_match_fresh_sims(self, table_4x5):
+        """A shared compile is pure: reusing it across runs yields
+        exactly what two fresh simulators (and the reference) yield."""
+        compiled = CompiledNetwork(table_4x5)
+        traffic = uniform_random(20)
+        stats_shared = [
+            FastNetworkSimulator(
+                table_4x5, traffic, rate, seed=4, compiled=compiled
+            ).run(200, 500)
+            for rate in (0.1, 0.3)
+        ]
+        stats_fresh = [
+            FastNetworkSimulator(table_4x5, traffic, rate, seed=4).run(200, 500)
+            for rate in (0.1, 0.3)
+        ]
+        stats_ref = [
+            NetworkSimulator(table_4x5, traffic, rate, seed=4).run(200, 500)
+            for rate in (0.1, 0.3)
+        ]
+        assert stats_shared == stats_fresh == stats_ref
+
+    def test_mismatched_compile_rejected(self, table_4x5, table_8x6):
+        compiled = CompiledNetwork(table_8x6)
+        with pytest.raises(ValueError, match="different table"):
+            FastNetworkSimulator(
+                table_4x5, uniform_random(20), 0.1, compiled=compiled
+            )
+
+    def test_curve_and_saturation_share_the_table_memo(self, table_4x5):
+        """Sweeps and searches attach one compile to the table and keep
+        reusing it (the per-(table, traffic) amortization the sweep
+        stack rides on)."""
+        table_4x5.__dict__.pop("_compiled_network", None)
+        traffic = uniform_random(20)
+        latency_throughput_curve(table_4x5, traffic, [0.05, 0.1],
+                                 warmup=100, measure=200)
+        first = table_4x5.__dict__.get("_compiled_network")
+        assert first is not None
+        find_saturation(table_4x5, traffic, iters=2, warmup=100, measure=200)
+        assert table_4x5.__dict__.get("_compiled_network") is first
+
+
+class TestTraceChunkBoundaries:
+    def test_tiny_chunks_bit_identical(self, table_4x5):
+        """Forcing a chunk boundary every 11 cycles (warmup and measure
+        not multiples of it) must not change a single stat."""
+        traffic = memory_traffic(LAYOUT_4X5)
+        ref = run_point(table_4x5, traffic, 0.2, warmup=205, measure=411,
+                        seed=6, engine="reference")
+        sim = FastNetworkSimulator(table_4x5, traffic, 0.2, seed=6)
+        sim.trace_chunk_cycles = 11
+        assert sim.run(205, 411) == ref
+
+    def test_single_hotspot_pattern_differential(self, table_4x5):
+        """Single-hotspot traffic exercises the trace's scalar-emulation
+        path (numpy's consume-nothing integers(1) special case) inside
+        the full engine."""
+        traffic = hotspot(20, [4], 0.6)
+        a = run_point(table_4x5, traffic, 0.15, warmup=200, measure=500,
+                      seed=2, engine="reference")
+        b = run_point(table_4x5, traffic, 0.15, warmup=200, measure=500,
+                      seed=2, engine="fast")
+        assert a == b
+
+
+class TestFindSaturationMemoization:
+    def test_no_rate_simulated_twice(self, table_4x5, monkeypatch):
+        import repro.sim.sweep as sweep_mod
+
+        traffic = uniform_random(20)
+        seen = []
+        real = sweep_mod.run_point
+
+        def counting(table, tr, rate, **kw):
+            seen.append(rate)
+            return real(table, tr, rate, **kw)
+
+        monkeypatch.setattr(sweep_mod, "run_point", counting)
+        sat = sweep_mod.find_saturation(table_4x5, traffic, lo=0.01, hi=1.0,
+                                        iters=4, warmup=150, measure=300)
+        assert 0.0 < sat <= 1.0
+        assert len(seen) == len(set(seen)), f"duplicate probes: {seen}"
+        # lo + hi + at most `iters` bisection midpoints
+        assert len(seen) <= 2 + 4
 
 
 class TestFindSaturationBaseProbe:
