@@ -7,11 +7,13 @@ report.  Expensive sweeps run exactly once per session
 (``benchmark.pedantic(rounds=1)``): the timing of interest is the
 end-to-end harness cost, not micro-op statistics.
 
-Engine benchmarks additionally record machine-readable perf numbers
-through the ``bench_record`` fixture; at session end they are written to
-``BENCH_engine.json`` (next to this file, or ``$BENCH_ENGINE_JSON``) so
-the perf trajectory is tracked across PRs — CI uploads the file as an
-artifact.
+Perf-tracking benchmarks additionally record machine-readable numbers
+through the ``bench_record`` fixture.  Records group by bench module: a
+test in ``test_bench_<name>.py`` lands in ``BENCH_<name>.json`` (next to
+this file, or ``$BENCH_<NAME>_JSON``), written at session end with a
+versioned schema so the perf trajectory is tracked across PRs — CI
+uploads the files as artifacts (``bench-engine`` and ``bench-fullsys``
+jobs).
 """
 
 import json
@@ -21,8 +23,9 @@ import time
 
 import pytest
 
-#: benchmark name -> recorded fields (wall times, speedup ratios, ...).
-_ENGINE_RECORDS = {}
+#: bench-file stem (module name minus ``test_bench_``) ->
+#: {benchmark name -> recorded fields (wall times, speedup ratios, ...)}.
+_RECORDS = {}
 
 
 def run_once(benchmark, fn, *args, **kwargs):
@@ -38,39 +41,50 @@ def once(benchmark):
     return _run
 
 
+def _module_stem(node) -> str:
+    name = node.module.__name__.rpartition(".")[2]
+    prefix = "test_bench_"
+    return name[len(prefix):] if name.startswith(prefix) else name
+
+
 @pytest.fixture
 def bench_record(request):
     """Record machine-readable results for the current benchmark.
 
     Call as ``bench_record(wall_s=..., speedup=..., **anything_json)``;
-    fields merge under the test's name in ``BENCH_engine.json``.
+    fields merge under the test's name in the module's
+    ``BENCH_<name>.json``.
     """
+    stem = _module_stem(request.node)
 
     def _record(**fields):
-        _ENGINE_RECORDS.setdefault(request.node.name, {}).update(fields)
+        _RECORDS.setdefault(stem, {}).setdefault(
+            request.node.name, {}
+        ).update(fields)
 
     return _record
 
 
-def bench_json_path() -> str:
+def bench_json_path(stem: str) -> str:
     return os.environ.get(
-        "BENCH_ENGINE_JSON",
-        os.path.join(os.path.dirname(__file__), "BENCH_engine.json"),
+        f"BENCH_{stem.upper()}_JSON",
+        os.path.join(os.path.dirname(__file__), f"BENCH_{stem}.json"),
     )
 
 
 def pytest_sessionfinish(session, exitstatus):
-    if not _ENGINE_RECORDS:
-        return
-    doc = {
-        "schema": 1,
-        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
-        "python": platform.python_version(),
-        "machine": platform.machine(),
-        "benchmarks": _ENGINE_RECORDS,
-    }
-    path = bench_json_path()
-    with open(path, "w") as fh:
-        json.dump(doc, fh, indent=2, sort_keys=True)
-        fh.write("\n")
-    print(f"\n[engine benchmark results written to {path}]")
+    for stem, records in sorted(_RECORDS.items()):
+        if not records:
+            continue
+        doc = {
+            "schema": 1,
+            "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "benchmarks": records,
+        }
+        path = bench_json_path(stem)
+        with open(path, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\n[{stem} benchmark results written to {path}]")

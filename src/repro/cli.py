@@ -16,9 +16,11 @@ cores), ``--cache-dir PATH`` (on-disk result cache location, default
 cache entirely), and ``--engine fast|reference`` (the default fast
 engine — flat arrays, pre-generated vectorized traffic traces, one
 compiled network shared per routed topology — or the reference oracle;
-identical results either way).  Results are bit-identical at any
-worker count; a cached rerun skips simulation outright.  See
-``docs/CLI.md``.
+identical results either way).  The flags cover the open-loop sweeps
+(fig6/7/10/11) and the full-system closed-loop PARSEC sweep (``repro
+run fig8``), whose (benchmark, topology) runs fan out and cache the
+same way.  Results are bit-identical at any worker count; a cached
+rerun skips simulation outright.  See ``docs/CLI.md``.
 """
 
 from __future__ import annotations
@@ -275,7 +277,8 @@ def _add_runner_flags(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--engine", choices=("fast", "reference"), default="fast",
-        help="simulation engine: the fast engine (default; flat arrays, "
+        help="simulation engine for open-loop sweeps and closed-loop "
+             "full-system runs: the fast engine (default; flat arrays, "
              "pre-generated traffic traces, compiled-network reuse) or "
              "the reference oracle; both produce identical results",
     )

@@ -9,13 +9,16 @@ L2 MPKI, and NetSmith always achieving the largest latency reduction.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from ..fullsys import Figure8Row, geomean_speedups, parsec_sweep
 from ..fullsys.workloads import PARSEC, WorkloadProfile
 from ..routing import RoutingTable
 from ..topology import expert_topology
 from .registry import NDBT, roster, routed_entry, routed_table
+
+if TYPE_CHECKING:
+    from ..runner import Runner
 
 
 @dataclass
@@ -51,8 +54,18 @@ def fig8_results(
     seed: int = 0,
     allow_generate: bool = True,
     max_entries_per_class: Optional[int] = None,
+    runner: Optional["Runner"] = None,
+    engine: Optional[str] = None,
 ) -> Fig8Result:
-    mesh_table = routed_table(expert_topology("Mesh", n_routers), NDBT, seed=seed)
+    """With a :class:`~repro.runner.Runner`, every (benchmark, topology)
+    closed-loop run fans out across workers and lands in the result
+    cache; without one, the serial sweep runs.  Rows are identical
+    either way.  ``engine`` pins the closed-loop engine
+    ("fast"/"reference"); ``None`` uses the runner's default (or the
+    fast engine serially) — both engines produce identical results."""
+    mesh_table = routed_table(
+        expert_topology("Mesh", n_routers), NDBT, seed=seed, runner=runner
+    )
     tables: Dict[str, RoutingTable] = {}
     for cls in link_classes:
         entries = roster(cls, n_routers, include_lpbt=False, allow_generate=allow_generate)
@@ -64,7 +77,7 @@ def fig8_results(
                 if e.name.startswith(("NS-", "Kite", "FoldedTorus"))
             ][:max_entries_per_class]
         for e in entries:
-            tables[e.name] = routed_entry(e, seed=seed)
+            tables[e.name] = routed_entry(e, seed=seed, runner=runner)
     rows = parsec_sweep(
         tables,
         mesh_table,
@@ -72,5 +85,7 @@ def fig8_results(
         seed=seed,
         warmup=warmup,
         measure=measure,
+        runner=runner,
+        engine=engine,
     )
     return Fig8Result(rows=rows, geomean=geomean_speedups(rows))

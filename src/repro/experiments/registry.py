@@ -265,6 +265,39 @@ def _summarize_fig7(bars):
     return "\n".join(lines)
 
 
+#: The reduced-budget Fig. 8 configuration, shared verbatim by the
+#: ``fig8`` experiment and the report's full-system section so both hit
+#: the same cached ``closed_loop`` results.
+FIG8_FAST_WORKLOADS = ("blackscholes", "ferret", "streamcluster", "canneal")
+
+
+def fig8_budget(fast):
+    return {"warmup": 300, "measure": 1000 if fast else 2000}
+
+
+def _run_fig8(runner, fast, **kw):
+    from ..fullsys.workloads import PARSEC
+    from .fig8 import fig8_results
+
+    workloads = (
+        [w for w in PARSEC if w.name in FIG8_FAST_WORKLOADS] if fast else None
+    )
+    return fig8_results(
+        workloads=workloads, allow_generate=False, runner=runner,
+        max_entries_per_class=3, **fig8_budget(fast), **kw,
+    )
+
+
+def _summarize_fig8(res):
+    lines = ["Fig. 8 (PARSEC closed loop) geomean speedup vs mesh:"]
+    lines += [
+        f"  {name:<18} {v:.3f}"
+        for name, v in sorted(res.geomean.items(), key=lambda kv: -kv[1])
+    ]
+    lines.append(f"best topology: {res.best_topology()}")
+    return "\n".join(lines)
+
+
 def _run_fig10(runner, fast, **kw):
     from .fig10 import fig10_curves
 
@@ -332,6 +365,10 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
         ExperimentSpec(
             "fig7", "topology-vs-routing isolation, large class",
             _run_fig7, _summarize_fig7,
+        ),
+        ExperimentSpec(
+            "fig8", "full-system PARSEC closed-loop speedups vs mesh",
+            _run_fig8, _summarize_fig8,
         ),
         ExperimentSpec(
             "fig10", "shuffle traffic incl. NS-ShufOpt",

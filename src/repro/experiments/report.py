@@ -24,8 +24,9 @@ if TYPE_CHECKING:
 
 def generate_report(fast: bool = True, runner: Optional["Runner"] = None) -> str:
     """Render the full report; a :class:`~repro.runner.Runner` fans the
-    simulation-heavy sections (Figs. 6 and 7) across workers and caches
-    every sim point, making regeneration incremental."""
+    simulation-heavy sections (Figs. 6, 7, and 8) across workers and
+    caches every sim point and closed-loop run, making regeneration
+    incremental."""
     out = io.StringIO()
     w = out.write
 
@@ -99,14 +100,17 @@ def generate_report(fast: bool = True, runner: Optional["Runner"] = None) -> str
     # ---- Fig. 8 ---------------------------------------------------------------
     w("## Fig. 8 — PARSEC geomean speedups vs mesh\n\n")
     from ..fullsys.workloads import PARSEC
+    from .registry import FIG8_FAST_WORKLOADS, fig8_budget
 
+    # Same configuration as the ``fig8`` experiment, so the report's
+    # full-system section is served from the same cached closed-loop
+    # results as ``repro run fig8``.
     subset = PARSEC if not fast else [
-        wl for wl in PARSEC
-        if wl.name in ("blackscholes", "ferret", "streamcluster", "canneal")
+        wl for wl in PARSEC if wl.name in FIG8_FAST_WORKLOADS
     ]
     res8 = fig8_results(
-        workloads=subset, warmup=300, measure=1000 if fast else 2000,
-        allow_generate=False, max_entries_per_class=3,
+        workloads=subset, allow_generate=False, max_entries_per_class=3,
+        runner=runner, **fig8_budget(fast),
     )
     w("| topology | geomean speedup |\n|---|---|\n")
     for name, v in sorted(res8.geomean.items(), key=lambda kv: -kv[1]):

@@ -7,6 +7,12 @@ from .closedloop import (
     MEMORY_LATENCY_NS,
     ClosedLoopSimulator,
     ClosedLoopStats,
+    validate_closed_loop,
+)
+from .fastloop import (
+    CLOSED_ENGINES,
+    FastClosedLoopSimulator,
+    resolve_closed_loop_engine,
 )
 from .speedup import (
     CORE_CLOCK_GHZ,
@@ -21,6 +27,10 @@ from .workloads import BY_NAME, PARSEC, WorkloadProfile, workload
 
 __all__ = [
     "ClosedLoopSimulator",
+    "FastClosedLoopSimulator",
+    "CLOSED_ENGINES",
+    "resolve_closed_loop_engine",
+    "validate_closed_loop",
     "ClosedLoopStats",
     "DIRECTORY_LATENCY_NS",
     "MEMORY_LATENCY_NS",

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -30,7 +30,6 @@ from ..routing.tables import RoutingTable
 from ..sim.network import NetworkSimulator
 from ..sim.packet import CONTROL_FLITS, DATA_FLITS, Packet
 from ..sim.traffic import TrafficPattern
-from .workloads import WorkloadProfile
 
 #: Service latency (ns) at the destination before the reply; wall-clock
 #: quantities so the NoI clock class does not distort directory/DRAM time.
@@ -38,6 +37,55 @@ DIRECTORY_LATENCY_NS = 4.0
 MEMORY_LATENCY_NS = 14.0
 #: CDC + NoC traversal charged per NoI hop pair in full-system mode.
 CDC_LATENCY = 2
+
+
+def validate_closed_loop(
+    n: int,
+    demand_rate: float,
+    memory_fraction: float,
+    mc_routers: Sequence[int],
+    mlp_per_node: int,
+) -> None:
+    """Reject closed-loop configurations that would crash or mis-draw.
+
+    Shared by both closed-loop engines so they fail identically.  The
+    memory-target draw picks uniformly from ``mc_routers`` minus the
+    source, so every router must be left with at least one candidate —
+    an empty MC list (or a single MC drawing its own traffic) used to
+    surface as an opaque ``integers(0)`` crash mid-simulation.
+    """
+    if not 0.0 <= demand_rate < 1.0:
+        raise ValueError(
+            f"demand_rate must be in [0, 1) — one Bernoulli request "
+            f"trial per router per cycle — got {demand_rate!r}"
+        )
+    if not 0.0 <= memory_fraction <= 1.0:
+        raise ValueError(
+            f"memory_fraction must be in [0, 1], got {memory_fraction!r}"
+        )
+    if mlp_per_node < 1:
+        raise ValueError(
+            f"mlp_per_node must be >= 1, got {mlp_per_node!r}"
+        )
+    mcs = list(mc_routers)
+    if not mcs:
+        raise ValueError(
+            "mc_routers is empty: closed-loop traffic needs at least one "
+            "memory-controller router (pass mc_routers=... or use a "
+            "layout with MC columns)"
+        )
+    bad = sorted({m for m in mcs if not 0 <= m < n})
+    if bad:
+        raise ValueError(
+            f"mc_routers {bad} outside [0, {n}) for this {n}-router network"
+        )
+    if memory_fraction > 0 and len(set(mcs)) == 1:
+        raise ValueError(
+            f"mc_routers contains only router {mcs[0]}: that router has "
+            f"no memory target to send to (memory_fraction="
+            f"{memory_fraction}); provide a second MC or set "
+            f"memory_fraction=0"
+        )
 
 
 @dataclass
@@ -80,7 +128,14 @@ class ClosedLoopSimulator(NetworkSimulator):
         self.demand_rate = float(demand_rate)
         self.mlp = int(mlp_per_node)
         self.memory_fraction = float(memory_fraction)
-        self.mc_routers = list(mc_routers or self.topo.layout.mc_routers())
+        self.mc_routers = list(
+            mc_routers if mc_routers is not None
+            else self.topo.layout.mc_routers()
+        )
+        validate_closed_loop(
+            self.n, self.demand_rate, self.memory_fraction,
+            self.mc_routers, self.mlp,
+        )
         # service delays are wall-clock; convert to this NoI's cycles
         self.directory_cycles = max(1, int(round(DIRECTORY_LATENCY_NS * noi_clock_ghz)))
         self.memory_cycles = max(1, int(round(MEMORY_LATENCY_NS * noi_clock_ghz)))
@@ -146,10 +201,10 @@ class ClosedLoopSimulator(NetworkSimulator):
                 (self.cycle + service, pkt.src, pkt.dst, DATA_FLITS, birth),
             )
         else:
-            # reply came home: request complete
+            # reply came home: request complete.  (``_eject`` already
+            # decremented ``in_flight`` for the reply packet itself.)
             node = pkt.dst
             self.outstanding[node] = max(0, self.outstanding[node] - 1)
-            self.in_flight -= 1
             if self._measure_rtts:
                 self.completed += 1
                 self.rtt_sum += self.cycle - pkt.birth_cycle

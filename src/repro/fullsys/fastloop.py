@@ -1,0 +1,423 @@
+"""Flat-array fast engine for closed-loop (request/response) simulation.
+
+:class:`FastClosedLoopSimulator` is to :class:`~repro.fullsys.closedloop.
+ClosedLoopSimulator` what :class:`~repro.sim.fastnet.FastNetworkSimulator`
+is to the reference open-loop engine: identical cycle-level semantics,
+identical RNG draw order, bit-identical :class:`~repro.fullsys.closedloop.
+ClosedLoopStats` (pinned by the differential suite in
+``tests/test_fastloop.py``) — built on the same compiled-network flat
+arrays and worklist/sleep arbitration machinery.
+
+Closed-loop traffic cannot be trace-fed: whether a router draws at all
+on a given cycle depends on its outstanding-request count, which depends
+on every earlier arbitration decision.  The injection stream is instead
+generated cycle-by-cycle through two narrow hooks the fast engine's
+fused loop exposes:
+
+* ``_closed_gen`` replaces the generation block with demand-driven
+  request injection (per-router MLP budget, memory-vs-directory target
+  split, destination draws) plus the release of matured replies from a
+  service-latency heap;
+* ``_closed_eject`` observes every ejection: a request schedules its
+  data reply after the directory/memory service latency; a returning
+  reply retires the transaction, releases the router's MLP slot, and
+  accounts the round trip.
+
+The reference engine's draws are scalar ``Generator`` calls —
+``random()`` per demand/memory-fraction decision, ``integers(k)`` per
+target pick.  For every built-in traffic pattern (anything carrying a
+:class:`~repro.sim.traffic.DestSpec`) this engine replays that exact
+stream from buffered **raw 64-bit PCG64 words** (:mod:`repro.sim.
+rngstream`): doubles are ``(word >> 11) * 2**-53``, bounded draws are
+Lemire-32 over the half-word stream with the bit generator's
+``has_uint32`` cache tracked arithmetically — plain Python integer ops
+instead of per-draw Generator dispatch.  Spec-less custom patterns fall
+back to real Generator calls (still bit-identical, just slower).
+
+Packets ride the fast engine's 6-tuple records; the closed-loop
+metadata lives in the birth field (requests encode
+``birth << 1 | is_mem`` — decoded at ejection to pick the service
+latency — replies carry the request's birth cycle verbatim for RTT
+accounting), and the record's flit size distinguishes the two classes
+(requests are 1-flit control, replies 9-flit data).  Reply-heap tuples
+are ordered exactly as the reference's, so same-cycle releases pop in
+the same order.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import List, Optional, Tuple
+
+from ..routing.tables import RoutingTable
+from ..sim.fastnet import CompiledNetwork, FastNetworkSimulator
+from ..sim.packet import CONTROL_FLITS, DATA_FLITS
+from ..sim.rngstream import DOUBLE_SCALE, take_raw
+from ..sim.traffic import TrafficPattern
+from .closedloop import (
+    CDC_LATENCY,
+    DIRECTORY_LATENCY_NS,
+    MEMORY_LATENCY_NS,
+    ClosedLoopSimulator,
+    ClosedLoopStats,
+    validate_closed_loop,
+)
+
+#: DestSpec kinds compiled to integer tags for the generation hot loop.
+_KIND = {"table": 0, "uniform": 1, "memory": 2, "hotspot": 3}
+
+#: Raw words pulled from the Generator per buffer refill.
+_WORD_CHUNK = 4096
+
+_U32 = 0xFFFFFFFF
+
+
+class FastClosedLoopSimulator(FastNetworkSimulator):
+    """Flat-array drop-in for :class:`ClosedLoopSimulator` (same stats)."""
+
+    def __init__(
+        self,
+        table: RoutingTable,
+        traffic: TrafficPattern,
+        demand_rate: float,
+        mlp_per_node: int = 8,
+        memory_fraction: float = 0.5,
+        mc_routers: Optional[List[int]] = None,
+        noi_clock_ghz: float = 3.0,
+        seed: int = 0,
+        compiled: Optional[CompiledNetwork] = None,
+        **sim_kw,
+    ):
+        sim_kw.setdefault("extra_hop_latency", CDC_LATENCY)
+        super().__init__(
+            table, traffic, injection_rate=0.0, seed=seed,
+            compiled=compiled, **sim_kw,
+        )
+        self.demand_rate = float(demand_rate)
+        self.mlp = int(mlp_per_node)
+        self.memory_fraction = float(memory_fraction)
+        self.mc_routers = list(
+            mc_routers if mc_routers is not None
+            else self.topo.layout.mc_routers()
+        )
+        validate_closed_loop(
+            self.n, self.demand_rate, self.memory_fraction,
+            self.mc_routers, self.mlp,
+        )
+        self.directory_cycles = max(
+            1, int(round(DIRECTORY_LATENCY_NS * noi_clock_ghz))
+        )
+        self.memory_cycles = max(
+            1, int(round(MEMORY_LATENCY_NS * noi_clock_ghz))
+        )
+        self.outstanding = [0] * self.n
+        # Reference-ordered reply heap: (ready, reply_dst, server, size,
+        # request_birth) — identical tuples, identical tie-breaks.
+        self.pending_replies: List[Tuple[int, int, int, int, int]] = []
+        self.completed = 0
+        self.rtt_sum = 0.0
+        self._measure_rtts = False
+
+        n = self.n
+        # Per-source memory-target rows (the reference rebuilds
+        # ``[m for m in mc_routers if m != node]`` per draw; the rows are
+        # deterministic, so compile them once) + Lemire thresholds.
+        self._mc_rows = [
+            tuple(m for m in self.mc_routers if m != node)
+            for node in range(n)
+        ]
+        self._mc_bounds = [len(r) for r in self._mc_rows]
+        self._mc_thresh = [
+            (1 << 32) % b if b >= 2 else 0 for b in self._mc_bounds
+        ]
+
+        # Raw-word draw stream (emulated scalar Generator calls).
+        self._words: List[int] = []
+        self._wpos = 0
+        self._whas = 0  # pending high half-word (has_uint32 emulation)
+        self._wval = 0
+
+        spec = traffic.dest_spec
+        if spec is None:
+            # Custom pattern: real Generator calls, same draw order.
+            self._closed_gen = self._generate_fallback
+        else:
+            self._kind = _KIND[spec.kind]
+            self._dtable = (
+                spec.table.tolist() if spec.table is not None else None
+            )
+            self._dbounds = (
+                spec.bounds.tolist() if spec.bounds is not None else None
+            )
+            self._dthresh = (
+                [(1 << 32) % b if b >= 2 else 0 for b in self._dbounds]
+                if self._dbounds is not None else None
+            )
+            self._uni_thresh = (1 << 32) % (n - 1) if n - 1 >= 2 else 0
+            self._hot_fraction = spec.hot_fraction
+            self._closed_gen = self._generate_emulated
+        self._closed_eject = self._eject_closed
+
+    # -- generation hooks ------------------------------------------------------
+    def _generate_emulated(self, cycle, pending, in_flight, pid):
+        """Demand-driven injection, draws replayed from raw PCG64 words.
+
+        Per eligible router, in ascending index order (the reference's
+        ``_generate`` loop): one demand double; on a win one
+        memory-fraction double, then either a bounded draw over the
+        router's MC row or the pattern's destination recipe.  Matured
+        replies release afterwards, exactly as the reference orders it.
+        """
+        words = self._words
+        wlen = len(words)
+        pos = self._wpos
+        h = self._whas
+        hv = self._wval
+        rng = self.rng
+        outstanding = self.outstanding
+        mlp = self.mlp
+        demand = self.demand_rate
+        memf = self.memory_fraction
+        source_q = self.source_q
+        vc_of = self.vc_of
+        inj_key = self.inj_key
+        n = self.n
+        mc_rows = self._mc_rows
+        mc_bounds = self._mc_bounds
+        mc_thresh = self._mc_thresh
+        kind = self._kind
+        dtable = self._dtable
+        dbounds = self._dbounds
+        dthresh = self._dthresh
+        uni_bound = n - 1
+        uni_thresh = self._uni_thresh
+        scale = DOUBLE_SCALE
+        req_size = CONTROL_FLITS
+
+        for node in range(n):
+            if outstanding[node] >= mlp:
+                continue
+            if pos == wlen:
+                words = take_raw(rng, _WORD_CHUNK).tolist()
+                wlen = _WORD_CHUNK
+                pos = 0
+            w = words[pos]
+            pos += 1
+            if (w >> 11) * scale >= demand:
+                continue
+            if pos == wlen:
+                words = take_raw(rng, _WORD_CHUNK).tolist()
+                wlen = _WORD_CHUNK
+                pos = 0
+            w = words[pos]
+            pos += 1
+            row = None
+            b = -1  # -1: destination already resolved (no bounded draw)
+            if (w >> 11) * scale < memf:
+                is_mem = 1
+                b = mc_bounds[node]
+                t = mc_thresh[node]
+                row = mc_rows[node]
+            else:
+                is_mem = 0
+                if kind == 0:  # deterministic permutation
+                    dst = dtable[node]
+                elif kind == 1:  # uniform over others
+                    b = uni_bound
+                    t = uni_thresh
+                elif kind == 2:  # memory pattern rows
+                    b = dbounds[node]
+                    t = dthresh[node]
+                    row = dtable[node]
+                else:  # hotspot: hot/uniform decision double first
+                    if pos == wlen:
+                        words = take_raw(rng, _WORD_CHUNK).tolist()
+                        wlen = _WORD_CHUNK
+                        pos = 0
+                    w = words[pos]
+                    pos += 1
+                    hb = dbounds[node]
+                    if (w >> 11) * scale < self._hot_fraction and hb > 0:
+                        b = hb
+                        t = dthresh[node]
+                        row = dtable[node]
+                    else:
+                        b = uni_bound
+                        t = uni_thresh
+            if b >= 0:
+                if b == 0:
+                    raise ValueError(
+                        f"destination draw with empty candidate set at "
+                        f"router {node} — degenerate traffic pattern"
+                    )
+                if b == 1:
+                    # numpy's ``integers(1)``: 0, consuming nothing.
+                    val = 0
+                else:
+                    # Lemire-32 over the half-word stream (low half of a
+                    # fresh word first, high half cached), rejection
+                    # loop included.
+                    while True:
+                        if h:
+                            h = 0
+                            u = hv
+                        else:
+                            if pos == wlen:
+                                words = take_raw(rng, _WORD_CHUNK).tolist()
+                                wlen = _WORD_CHUNK
+                                pos = 0
+                            w2 = words[pos]
+                            pos += 1
+                            h = 1
+                            hv = w2 >> 32
+                            u = w2 & _U32
+                        prod = u * b
+                        if (prod & _U32) >= t:
+                            val = prod >> 32
+                            break
+                if row is None:
+                    dst = val if val < node else val + 1
+                else:
+                    dst = row[val]
+            f = node * n + dst
+            source_q[node].append(
+                (vc_of[f], inj_key[f], req_size, dst, (cycle << 1) | is_mem)
+            )
+            pending |= 1 << node
+            outstanding[node] += 1
+            in_flight += 1
+            pid += 1
+
+        self._words = words
+        self._wpos = pos
+        self._whas = h
+        self._wval = hv
+
+        replies = self.pending_replies
+        if replies and replies[0][0] <= cycle:
+            return self._release_replies(cycle, pending, in_flight, pid)
+        return pending, in_flight, pid
+
+    def _generate_fallback(self, cycle, pending, in_flight, pid):
+        """Spec-less custom patterns: the same loop over real Generator
+        calls (``random()``/``integers``/``dest_fn``) — bit-identical by
+        construction, without the raw-word savings."""
+        rng = self.rng
+        rng_random = rng.random
+        rng_integers = rng.integers
+        dest = self.traffic.dest_fn
+        outstanding = self.outstanding
+        mlp = self.mlp
+        demand = self.demand_rate
+        memf = self.memory_fraction
+        source_q = self.source_q
+        vc_of = self.vc_of
+        inj_key = self.inj_key
+        n = self.n
+        mc_rows = self._mc_rows
+        req_size = CONTROL_FLITS
+
+        for node in range(n):
+            if outstanding[node] >= mlp:
+                continue
+            if rng_random() >= demand:
+                continue
+            if rng_random() < memf:
+                is_mem = 1
+                row = mc_rows[node]
+                dst = row[int(rng_integers(len(row)))]
+            else:
+                is_mem = 0
+                dst = dest(node, rng)
+            f = node * n + dst
+            source_q[node].append(
+                (vc_of[f], inj_key[f], req_size, dst, (cycle << 1) | is_mem)
+            )
+            pending |= 1 << node
+            outstanding[node] += 1
+            in_flight += 1
+            pid += 1
+
+        replies = self.pending_replies
+        if replies and replies[0][0] <= cycle:
+            return self._release_replies(cycle, pending, in_flight, pid)
+        return pending, in_flight, pid
+
+    def _release_replies(self, cycle, pending, in_flight, pid):
+        """Move matured replies into their servers' source queues, after
+        the cycle's request injection — the reference's ``_generate``
+        order.  Callers guard on the heap head, so the common no-reply
+        cycle never pays the call."""
+        replies = self.pending_replies
+        source_q = self.source_q
+        vc_of = self.vc_of
+        inj_key = self.inj_key
+        n = self.n
+        while replies and replies[0][0] <= cycle:
+            _, rdst, server, size, birth = heappop(replies)
+            f = server * n + rdst
+            source_q[server].append((vc_of[f], inj_key[f], size, rdst, birth))
+            pending |= 1 << server
+            in_flight += 1
+            pid += 1
+        return pending, in_flight, pid
+
+    # -- ejection hook ---------------------------------------------------------
+    def _eject_closed(self, cycle, rec, in_flight):
+        """Mirror of the reference ``_on_eject``: requests schedule their
+        reply after the service latency; returning replies retire the
+        transaction and account the round trip."""
+        size = rec[2]
+        if size == CONTROL_FLITS:
+            # request at its home node: rec = (.., .., size, src, dst,
+            # birth << 1 | is_mem)
+            meta = rec[5]
+            service = self.memory_cycles if meta & 1 else self.directory_cycles
+            heappush(
+                self.pending_replies,
+                (cycle + service, rec[3], rec[4], DATA_FLITS, meta >> 1),
+            )
+            return in_flight
+        # reply came home (at rec[4]): request complete.  (The fused
+        # loop's eject path already decremented in-flight for the reply
+        # packet itself.)
+        node = rec[4]
+        outstanding = self.outstanding
+        o = outstanding[node] - 1
+        outstanding[node] = o if o > 0 else 0
+        if self._measure_rtts:
+            self.completed += 1
+            self.rtt_sum += cycle - rec[5]
+        return in_flight
+
+    # -- public API ------------------------------------------------------------
+    def run_closed_loop(self, warmup: int, measure: int) -> ClosedLoopStats:
+        self._run_cycles(warmup)
+        self._measure_rtts = True
+        self._run_cycles(measure)
+        self._measure_rtts = False
+        return ClosedLoopStats(
+            cycles=measure,
+            completed_requests=self.completed,
+            rtt_sum=self.rtt_sum,
+            n_nodes=self.n,
+        )
+
+
+#: Closed-loop engine name -> simulator class (same names as the
+#: open-loop :data:`repro.sim.fastnet.ENGINES`).
+CLOSED_ENGINES = {
+    "reference": ClosedLoopSimulator,
+    "fast": FastClosedLoopSimulator,
+}
+
+
+def resolve_closed_loop_engine(engine: str):
+    """Map an engine name to its closed-loop simulator class."""
+    try:
+        return CLOSED_ENGINES[engine]
+    except KeyError:
+        raise ValueError(
+            f"unknown closed-loop engine {engine!r}: expected one of "
+            f"{sorted(CLOSED_ENGINES)}"
+        ) from None

@@ -19,15 +19,20 @@ with the packet-latency reduction (Fig. 8's right axis).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 import numpy as np
 
 from ..routing.tables import RoutingTable
+from ..sim.fastnet import DEFAULT_ENGINE
 from ..sim.traffic import uniform_random
 from ..topology.layout import CLASS_CLOCK_GHZ
 from .closedloop import ClosedLoopSimulator, ClosedLoopStats
+from .fastloop import resolve_closed_loop_engine
 from .workloads import PARSEC, WorkloadProfile
+
+if TYPE_CHECKING:
+    from ..runner import Runner
 
 CORE_CLOCK_GHZ = 3.8  # Table IV
 
@@ -68,12 +73,18 @@ def run_workload(
     warmup: int = 600,
     measure: int = 2500,
     seed: int = 0,
+    engine: str = DEFAULT_ENGINE,
 ) -> WorkloadResult:
-    """Closed-loop simulation of one benchmark on one routed topology."""
+    """Closed-loop simulation of one benchmark on one routed topology.
+
+    ``engine`` picks the closed-loop simulator implementation (the
+    ``"fast"`` flat-array engine, the default, or the ``"reference"``
+    oracle); both produce identical results for identical inputs.
+    """
     topo = table.topology
     cls = link_class or topo.link_class or "small"
     clock = CLASS_CLOCK_GHZ[cls]
-    sim = ClosedLoopSimulator(
+    sim = resolve_closed_loop_engine(engine)(
         table,
         uniform_random(topo.n),
         demand_rate=demand_rate_for(workload),
@@ -113,16 +124,59 @@ def parsec_sweep(
     seed: int = 0,
     warmup: int = 600,
     measure: int = 2500,
+    runner: Optional["Runner"] = None,
+    engine: Optional[str] = None,
 ) -> List[Figure8Row]:
-    """Fig. 8: per-benchmark speedup and latency reduction vs mesh."""
+    """Fig. 8: per-benchmark speedup and latency reduction vs mesh.
+
+    Every (benchmark, topology) pair is one independent closed-loop
+    simulation.  With a :class:`~repro.runner.Runner` they all fan out
+    as ``closed_loop`` tasks — parallel across workers, content-hash
+    cached on disk — and reassemble positionally, so the rows are
+    bit-identical to the serial loop at any worker count.  ``engine``
+    pins the closed-loop engine; ``None`` uses the runner's default
+    (or the fast engine serially).
+    """
     workloads = workloads or PARSEC
-    rows = []
+    names = list(tables)
+    rows: List[Figure8Row] = []
+    if runner is not None:
+        from ..runner.orchestrator import ClosedLoopJob
+
+        jobs = [
+            ClosedLoopJob(
+                table=tab, workload=w, warmup=warmup, measure=measure,
+                seed=seed, engine=engine,
+            )
+            for w in workloads
+            for tab in [mesh_table] + [tables[n] for n in names]
+        ]
+        results = iter(runner.closed_loops(jobs))
+        for w in workloads:
+            base = next(results)
+            speed = {}
+            red = {}
+            for name in names:
+                r = next(results)
+                speed[name] = r.speedup_over(base)
+                red[name] = r.latency_reduction_over(base)
+            rows.append(
+                Figure8Row(workload=w.name, speedups=speed, latency_reductions=red)
+            )
+        return rows
+    engine = engine or DEFAULT_ENGINE
     for w in workloads:
-        base = run_workload(mesh_table, w, seed=seed, warmup=warmup, measure=measure)
+        base = run_workload(
+            mesh_table, w, seed=seed, warmup=warmup, measure=measure,
+            engine=engine,
+        )
         speed: Dict[str, float] = {}
         red: Dict[str, float] = {}
         for name, tab in tables.items():
-            r = run_workload(tab, w, seed=seed, warmup=warmup, measure=measure)
+            r = run_workload(
+                tab, w, seed=seed, warmup=warmup, measure=measure,
+                engine=engine,
+            )
             speed[name] = r.speedup_over(base)
             red[name] = r.latency_reduction_over(base)
         rows.append(Figure8Row(workload=w.name, speedups=speed, latency_reductions=red))

@@ -71,6 +71,25 @@ class SaturationJob:
     engine: Optional[str] = None
 
 
+@dataclass
+class ClosedLoopJob:
+    """One full-system closed-loop run: a (benchmark, topology) pair.
+
+    The unit the Fig. 8 PARSEC sweep fans out — each pair is an
+    independent simulation, so a sweep of W workloads over T topologies
+    becomes W×(T+1) of these (the mesh baseline included).
+    """
+
+    table: RoutingTable
+    workload: Any  # repro.fullsys.workloads.WorkloadProfile
+    link_class: Optional[str] = None
+    warmup: int = 600
+    measure: int = 2500
+    seed: int = 0
+    #: Closed-loop engine ("fast"/"reference"); None = the runner's default.
+    engine: Optional[str] = None
+
+
 class Runner:
     """Parallel, cached executor for the reproduction's workloads.
 
@@ -242,6 +261,21 @@ class Runner:
             for j in jobs
         ]
         return self.run_tasks("sat_search", payloads)
+
+    def closed_loops(self, jobs: Sequence[ClosedLoopJob]) -> List[Any]:
+        """Fan closed-loop (benchmark, topology) runs across workers
+        (Fig. 8 / the report's full-system section).  Returns
+        :class:`~repro.fullsys.speedup.WorkloadResult` objects in
+        submission order; cached pairs skip simulation outright."""
+        payloads = [
+            tasks.closed_loop_payload(
+                j.table, j.workload, j.link_class,
+                j.warmup, j.measure, j.seed,
+                engine=j.engine or self.engine,
+            )
+            for j in jobs
+        ]
+        return self.run_tasks("closed_loop", payloads)
 
     # -- experiment-level entry point ---------------------------------------
     def run_experiment(self, name: str, fast: bool = True, **kwargs) -> Any:

@@ -46,8 +46,11 @@ from ..topology import Layout, Topology
 #: generates traffic from pre-computed vectorized traces and reuses one
 #: :class:`~repro.sim.fastnet.CompiledNetwork` per routed topology
 #: (results are unchanged — the differential suite pins them — but the
-#: version bump keeps cache provenance unambiguous).
-TASK_VERSION = 3
+#: version bump keeps cache provenance unambiguous).  v4: the
+#: ``closed_loop`` task family (full-system PARSEC runs) joins the
+#: payload surface; sim-point/saturation results are unchanged but the
+#: version bump keeps one provenance line for the whole store.
+TASK_VERSION = 4
 
 
 # ---------------------------------------------------------------------------
@@ -328,9 +331,91 @@ def sat_search_task(payload: Dict[str, Any]) -> float:
     )
 
 
+def closed_loop_payload(
+    table: RoutingTable,
+    workload,
+    link_class: Optional[str],
+    warmup: int,
+    measure: int,
+    seed: int,
+    engine: str = DEFAULT_ENGINE,
+) -> Dict[str, Any]:
+    """One full-system closed-loop run: a (benchmark, topology) pair.
+
+    The workload profile is embedded field-by-field (not by name), so a
+    profile change re-keys — and therefore recomputes — every affected
+    cache entry.
+    """
+    return {
+        "task": "closed_loop",
+        "version": TASK_VERSION,
+        "table": encode_table(table),
+        "workload": {
+            "name": str(workload.name),
+            "l2_mpki": float(workload.l2_mpki),
+            "memory_fraction": float(workload.memory_fraction),
+            "base_cpi": float(workload.base_cpi),
+            "mlp": float(workload.mlp),
+        },
+        "link_class": link_class,
+        "warmup": int(warmup),
+        "measure": int(measure),
+        "seed": int(seed),
+        "engine": str(engine),
+    }
+
+
+def closed_loop_task(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker entry: one closed-loop workload run, result as plain JSON.
+
+    Imports lazily: :mod:`repro.fullsys.speedup` builds ``ClosedLoopJob``
+    payloads through this module, and worker processes that only run
+    sim-point tasks never need the full-system stack at all.
+    """
+    from ..fullsys.speedup import run_workload
+    from ..fullsys.workloads import WorkloadProfile
+
+    table = cached_table(payload["table"])
+    w = payload["workload"]
+    profile = WorkloadProfile(
+        name=w["name"],
+        l2_mpki=float(w["l2_mpki"]),
+        memory_fraction=float(w["memory_fraction"]),
+        base_cpi=float(w["base_cpi"]),
+        mlp=float(w["mlp"]),
+    )
+    r = run_workload(
+        table,
+        profile,
+        link_class=payload.get("link_class"),
+        warmup=payload["warmup"],
+        measure=payload["measure"],
+        seed=payload["seed"],
+        engine=payload.get("engine", DEFAULT_ENGINE),
+    )
+    return {
+        "workload": r.workload,
+        "topology": r.topology,
+        "avg_packet_latency_ns": r.avg_packet_latency_ns,
+        "cpi": r.cpi,
+    }
+
+
+def workload_result_from_dict(doc: Dict[str, Any]):
+    from ..fullsys.speedup import WorkloadResult
+
+    return WorkloadResult(
+        workload=doc["workload"],
+        topology=doc["topology"],
+        avg_packet_latency_ns=float(doc["avg_packet_latency_ns"]),
+        cpi=float(doc["cpi"]),
+    )
+
+
 #: Task-name -> (worker function, result decoder).  The decoder maps the
 #: JSON value (fresh or cached) back to the caller-facing object.
 TASK_FUNCTIONS = {
     "sim_point": (sim_point_task, stats_from_dict),
     "sat_search": (sat_search_task, float),
+    "closed_loop": (closed_loop_task, workload_result_from_dict),
 }

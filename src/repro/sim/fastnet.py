@@ -212,6 +212,17 @@ class FastNetworkSimulator:
     #: ``run_point`` passes a shared :class:`CompiledNetwork` when set.
     supports_compiled = True
 
+    #: Closed-loop extension points (see :mod:`repro.fullsys.fastloop`).
+    #: ``_closed_gen(cycle, pending, in_flight, pid)`` replaces the whole
+    #: generation block when set (demand-driven injection is state-
+    #: dependent, so it cannot be trace-fed) and returns the updated
+    #: accumulators; ``_closed_eject(cycle, rec, in_flight)`` observes
+    #: every ejection (the reference engine's ``_on_eject`` hook) and
+    #: returns the updated in-flight count.  ``None`` (the default) costs
+    #: the open-loop hot path one pointer test per cycle / per ejection.
+    _closed_gen = None
+    _closed_eject = None
+
     #: Trace chunk length override (None = :data:`~repro.sim.trace.
     #: TRACE_CHUNK_CYCLES`); tests shrink it to stress chunk boundaries.
     trace_chunk_cycles: Optional[int] = None
@@ -389,7 +400,9 @@ class FastNetworkSimulator:
         rng_random = rng.random
         dest = self.traffic.dest_fn
         dfrac = self.traffic.data_fraction
-        trace = self._trace_for(lam) if lam > 0 else None
+        gen_fn = self._closed_gen
+        eject_fn = self._closed_eject
+        trace = self._trace_for(lam) if lam > 0 and gen_fn is None else None
         use_trace = trace is not None
         events = self._events
         ev_i = self._ev_i
@@ -452,7 +465,12 @@ class FastNetworkSimulator:
             # -- generation: drain this cycle's precomputed arrivals (the
             # trace replicates the reference's draw stream bit-exactly),
             # or fall back to inline scalar draws for custom patterns.
-            if use_trace:
+            # Closed-loop mode replaces the block outright: injection is
+            # demand-driven (per-node outstanding budgets) so each
+            # cycle's draws depend on simulation state.
+            if gen_fn is not None:
+                pending, in_flight, pid = gen_fn(cycle, pending, in_flight, pid)
+            elif use_trace:
                 if cycle >= trace_end:
                     events, trace_end = self._compile_events(trace.next_chunk())
                     ev_i = 0
@@ -706,6 +724,8 @@ class FastNetworkSimulator:
                             if birth >= measure_start:
                                 lat_sum += cycle + size - birth
                                 lat_count += 1
+                        if eject_fn is not None:
+                            in_flight = eject_fn(cycle, rec, in_flight)
                         continue
                     out = key
                     nr = len(reqs)

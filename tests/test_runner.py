@@ -293,3 +293,94 @@ def test_artifact_cache_key_matches_runner_keys():
     payload = {"kind": "recon", "version": 1}
     assert task_key("artifact", payload) == task_key("artifact", dict(payload))
     assert task_key("artifact", payload) != task_key("sim_point", payload)
+
+
+# ---------------------------------------------------------------------------
+# closed-loop jobs (the Fig. 8 full-system sweep unit)
+# ---------------------------------------------------------------------------
+
+CL_BUDGET = dict(warmup=100, measure=300, seed=0)
+
+
+def _cl_workloads():
+    from repro.fullsys import PARSEC
+
+    return [w for w in PARSEC if w.name in ("blackscholes", "canneal")]
+
+
+@pytest.fixture(scope="module")
+def serial_rows(table):
+    from repro.fullsys import parsec_sweep
+
+    return parsec_sweep({"self": table}, table, workloads=_cl_workloads(),
+                        **CL_BUDGET)
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_parallel_closed_loop_bit_identical_to_serial(
+    table, serial_rows, workers, tmp_path
+):
+    from repro.fullsys import parsec_sweep
+
+    with Runner(parallel=workers, cache_dir=str(tmp_path)) as runner:
+        rows = parsec_sweep({"self": table}, table, workloads=_cl_workloads(),
+                            runner=runner, **CL_BUDGET)
+    assert rows == serial_rows
+
+
+def test_closed_loop_cache_hit_skips_simulation(table, tmp_path, monkeypatch):
+    from repro.runner import ClosedLoopJob
+
+    w = _cl_workloads()[0]
+    job = ClosedLoopJob(table=table, workload=w, **CL_BUDGET)
+    first = Runner(parallel=1, cache_dir=str(tmp_path))
+    [r1] = first.closed_loops([job])
+    assert first.stats.misses == 1 and first.stats.hits == 0
+
+    def boom(payload):
+        raise AssertionError("closed_loop executed despite cached result")
+
+    monkeypatch.setitem(
+        runner_tasks.TASK_FUNCTIONS, "closed_loop",
+        (boom, runner_tasks.workload_result_from_dict),
+    )
+    second = Runner(parallel=1, cache_dir=str(tmp_path))
+    [r2] = second.closed_loops([job])
+    assert r2 == r1
+    assert second.stats.hits == 1 and second.stats.misses == 0
+
+
+def test_closed_loop_cache_distinguishes_configs(table, tmp_path):
+    from repro.runner import ClosedLoopJob
+
+    wa, wb = _cl_workloads()
+    runner = Runner(parallel=1, cache_dir=str(tmp_path))
+    runner.closed_loops([ClosedLoopJob(table=table, workload=wa, **CL_BUDGET)])
+    assert runner.stats.misses == 1
+    # different workload profile, seed, engine, or budget => new entries
+    runner.closed_loops([ClosedLoopJob(table=table, workload=wb, **CL_BUDGET)])
+    runner.closed_loops([ClosedLoopJob(table=table, workload=wa, warmup=100,
+                                       measure=300, seed=7)])
+    runner.closed_loops([ClosedLoopJob(table=table, workload=wa,
+                                       engine="reference", **CL_BUDGET)])
+    assert runner.stats.misses == 4
+    # exact repeat => pure hit
+    runner.closed_loops([ClosedLoopJob(table=table, workload=wa, **CL_BUDGET)])
+    assert runner.stats.misses == 4 and runner.stats.hits == 1
+
+
+def test_closed_loop_engines_share_results_not_cache_keys(table, tmp_path):
+    """Both engines produce identical WorkloadResults but cache under
+    distinct keys (engine is part of the payload identity)."""
+    from repro.runner import ClosedLoopJob
+
+    w = _cl_workloads()[0]
+    runner = Runner(parallel=1, cache_dir=str(tmp_path))
+    [fast] = runner.closed_loops(
+        [ClosedLoopJob(table=table, workload=w, engine="fast", **CL_BUDGET)]
+    )
+    [ref] = runner.closed_loops(
+        [ClosedLoopJob(table=table, workload=w, engine="reference", **CL_BUDGET)]
+    )
+    assert fast == ref
+    assert runner.stats.misses == 2 and runner.stats.hits == 0
