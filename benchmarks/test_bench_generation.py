@@ -1,0 +1,99 @@
+"""Generation-pipeline benchmark: serial vs runner-parallel portfolio.
+
+Runs the same design-space sweep — a small layout grid, two link
+classes, portfolio strategy (SA wave + budget-capped exact wave) —
+through one worker and through all cores, and reports the aggregate
+wall-clock speedup.  Generation is the repo's newest runner workload:
+before the pipeline, every MILP solve and annealing run executed
+serially in-process; this benchmark tracks what fanning them out buys.
+
+The asserted floor is 2x, conservative for the typical 4-core CI runner
+(portfolio waves are embarrassingly parallel, but the second wave's
+exact solves are time-limit-bound, so the ideal ratio is roughly the
+worker count minus pool-startup overhead).  Machines without real
+parallelism (cpu_count < 2) record the numbers and skip the assertion —
+a 1-core box cannot express the contract.
+
+Time-limited exact solves are *not* asserted bit-identical across
+worker counts (solver progress under a wall-clock budget depends on
+machine load — unlike simulation tasks, whose payloads fully determine
+their results); both runs are asserted to produce valid radix- and
+class-respecting topologies for every point.
+
+Results land in ``BENCH_generation.json`` (schema: benchmarks/conftest).
+"""
+
+import time
+
+import pytest
+
+from repro.pipeline import design_grid, generate_points
+from repro.runner import Runner
+from repro.runner.executor import default_workers
+
+SPEEDUP_FLOOR = 2.0
+
+#: Small grids: big enough that exact solves do real work inside the
+#: budget, small enough that the serial leg stays minutes-scale.
+GRIDS = ("3x4", "4x4", "3x5", "4x5")
+LINK_CLASSES = ("small", "medium")
+
+POINTS = design_grid(
+    GRIDS,
+    link_classes=LINK_CLASSES,
+    objectives=("latency",),
+    strategies=("portfolio",),
+    time_limit=5.0,
+    sa_steps=1200,
+    diameter_bound=5,
+    use_frozen=False,  # measure real generation, not registry lookups
+)
+
+
+def _sweep(workers: int):
+    with Runner(parallel=workers, no_cache=True) as runner:
+        t0 = time.perf_counter()
+        results = generate_points(POINTS, runner=runner)
+        return time.perf_counter() - t0, results
+
+
+def test_generation_portfolio_parallel_speedup(once, bench_record):
+    workers = default_workers()
+
+    def harness():
+        serial_s, serial_results = _sweep(1)
+        parallel_s, parallel_results = _sweep(0)
+        return serial_s, parallel_s, serial_results, parallel_results
+
+    serial_s, parallel_s, serial_results, parallel_results = once(harness)
+    speedup = serial_s / parallel_s
+
+    print(f"\ngeneration portfolio sweep: {len(POINTS)} points "
+          f"({len(GRIDS)} grids x {len(LINK_CLASSES)} classes)")
+    print(f"{'point':<28} {'serial obj':>10} {'parallel obj':>12}")
+    for p, s, q in zip(POINTS, serial_results, parallel_results):
+        print(f"{p.label():<28} {s.objective:>10.1f} {q.objective:>12.1f}")
+    print(f"serial {serial_s:.1f}s | parallel({workers}w) {parallel_s:.1f}s "
+          f"| speedup {speedup:.2f}x")
+
+    for results in (serial_results, parallel_results):
+        for p, r in zip(POINTS, results):
+            r.topology.check(radix=p.radix, link_class=p.link_class)
+
+    bench_record(
+        points=len(POINTS),
+        workers=workers,
+        serial_wall_s=round(serial_s, 3),
+        parallel_wall_s=round(parallel_s, 3),
+        speedup=round(speedup, 3),
+        floor=SPEEDUP_FLOOR,
+    )
+    if workers < 2:
+        pytest.skip(
+            f"only {workers} core(s): parallel speedup unmeasurable "
+            "(numbers recorded to BENCH_generation.json)"
+        )
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"runner-parallel portfolio only {speedup:.2f}x faster than serial "
+        f"(floor {SPEEDUP_FLOOR}x with {workers} workers)"
+    )

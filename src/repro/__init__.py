@@ -23,6 +23,8 @@ Subpackages:
 * :mod:`repro.power` — DSENT-substitute power/area model
 * :mod:`repro.experiments` — per-table/figure reproduction harness
 * :mod:`repro.runner` — parallel experiment runner + on-disk result cache
+* :mod:`repro.pipeline` — design-space exploration (declarative design
+  points, staged cached generate/route/evaluate, ranked sweeps)
 """
 
 from .core import (

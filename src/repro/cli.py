@@ -6,6 +6,9 @@ Commands mirror the library's pipeline:
 * ``evaluate`` — Table II-style metrics for a saved or named topology;
 * ``route``    — MCLB/NDBT route a topology, report channel loads + VCs;
 * ``simulate`` — latency/throughput sweep under a traffic pattern;
+* ``explore``  — design-space sweep: generate/route/evaluate a grid of
+  design points (arbitrary layouts) through the cached pipeline and
+  rank them;
 * ``run``      — named paper experiments through the parallel runner;
 * ``report``   — regenerate the paper's experiment report (EXPERIMENTS-style).
 
@@ -201,6 +204,73 @@ def cmd_simulate(args) -> int:
     return 0
 
 
+def cmd_explore(args) -> int:
+    from .pipeline import OBJECTIVES, design_grid, explore
+    from .topology import LINK_CLASSES
+
+    layouts = [g.strip() for g in args.grids.split(",") if g.strip()]
+    link_classes = [c.strip() for c in args.link_classes.split(",") if c.strip()]
+    objectives = [o.strip() for o in args.objectives.split(",") if o.strip()]
+    bad = [c for c in link_classes if c not in LINK_CLASSES]
+    if bad:
+        raise SystemExit(
+            f"unknown link class(es) {bad}: use {', '.join(LINK_CLASSES)}"
+        )
+    bad = [o for o in objectives if o not in OBJECTIVES]
+    if bad:
+        raise SystemExit(f"unknown objective(s) {bad}: use {', '.join(OBJECTIVES)}")
+    try:
+        points = design_grid(
+            layouts,
+            link_classes=link_classes,
+            objectives=objectives,
+            strategies=(args.strategy,),
+            seeds=range(args.seeds),
+            radix=args.radix,
+            diameter_bound=args.diameter,
+            time_limit=args.time_limit,
+            sa_steps=args.sa_steps,
+            max_iterations=args.max_iterations,
+            backend=args.backend,
+            use_frozen=not args.no_frozen,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    print(
+        f"exploring {len(points)} design points "
+        f"({len(layouts)} layouts x {len(link_classes)} classes x "
+        f"{len(objectives)} objectives x {args.seeds} seed(s), "
+        f"strategy={args.strategy})",
+        file=sys.stderr,
+    )
+    runner = _make_runner(args)
+    try:
+        result = explore(
+            points,
+            runner=runner,
+            policy=args.policy,
+            eval_warmup=args.warmup,
+            eval_measure=args.measure,
+            eval_iters=args.iters,
+            out_dir=args.out_dir or None,
+            rank_by=args.rank_by,
+        )
+    except (ValueError, RuntimeError) as exc:
+        # Point validation (bad radix/objective combos) and
+        # all-strategies-failed sweeps get the same clean one-line
+        # surface as argument errors, not a traceback.
+        raise SystemExit(str(exc))
+    print(result.format_table(by=args.rank_by))
+    best = result.best(by=args.rank_by)
+    if best is not None:
+        print(f"\nbest ({args.rank_by}): {best.point.label()} -> {best.name}")
+    if args.out_dir:
+        print(f"[artifacts in {args.out_dir}]", file=sys.stderr)
+    if not args.no_cache:
+        print(runner.stats.summary(), file=sys.stderr)
+    return 0
+
+
 def cmd_run(args) -> int:
     import time
 
@@ -335,6 +405,58 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--seed", type=int, default=0)
     _add_runner_flags(s)
     s.set_defaults(fn=cmd_simulate)
+
+    ex = sub.add_parser(
+        "explore",
+        help="design-space sweep over arbitrary layouts",
+        description="Sweep a grid of design points (layouts x link "
+                    "classes x objectives x seeds) through the staged "
+                    "generate/route/evaluate pipeline, rank the results, "
+                    "and write per-point artifacts. Every stage is cached "
+                    "runner work: an interrupted sweep resumes, and an "
+                    "immediate re-run is 100%% cache hits.",
+    )
+    ex.add_argument("--grids", default="4x5,6x5,6x6", metavar="RxC,...",
+                    help="comma-separated grid shapes (default 4x5,6x5,6x6)")
+    ex.add_argument("--link-classes", default="small,medium",
+                    metavar="CLS,...", help="subset of small,medium,large")
+    ex.add_argument("--objectives", default="latency,shuffle",
+                    metavar="OBJ,...",
+                    help="subset of latency,sparsest_cut,shuffle "
+                         "(sparsest_cut is skipped above 22 routers)")
+    ex.add_argument("--strategy", choices=("milp", "sa", "portfolio"),
+                    default="sa",
+                    help="generation strategy; portfolio = SA + exact "
+                         "solve with best-wins merge (warm-started from "
+                         "the SA result where --backend can consume it)")
+    ex.add_argument("--backend", choices=("scipy", "bnb"), default="scipy",
+                    help="exact-solve backend: scipy (HiGHS, fast, no "
+                         "MIP-start surface) or bnb (in-repo branch-and-"
+                         "bound; portfolio seeds its initial incumbent "
+                         "from the SA result)")
+    ex.add_argument("--seeds", type=int, default=1,
+                    help="number of generation seeds per configuration")
+    ex.add_argument("--radix", type=int, default=4)
+    ex.add_argument("--diameter", type=int, default=None)
+    ex.add_argument("--time-limit", type=float, default=30.0,
+                    help="exact-solve budget per point (seconds)")
+    ex.add_argument("--sa-steps", type=int, default=1500)
+    ex.add_argument("--max-iterations", type=int, default=6,
+                    help="SCOp lazy-cut iteration cap")
+    ex.add_argument("--no-frozen", action="store_true",
+                    help="ignore the frozen registry even for standard "
+                         "configurations")
+    ex.add_argument("--policy", choices=("mclb", "ndbt"), default="mclb")
+    ex.add_argument("--warmup", type=int, default=250)
+    ex.add_argument("--measure", type=int, default=800)
+    ex.add_argument("--iters", type=int, default=5,
+                    help="saturation binary-search iterations")
+    ex.add_argument("--rank-by", choices=("saturation", "hops", "cut"),
+                    default="saturation")
+    ex.add_argument("--out-dir", default="explore-artifacts", metavar="PATH",
+                    help="per-point artifact directory ('' disables)")
+    _add_runner_flags(ex)
+    ex.set_defaults(fn=cmd_explore)
 
     run = sub.add_parser(
         "run",

@@ -68,6 +68,66 @@ class NetSmithConfig:
         scale = max(self.layout.rows, self.layout.cols) / 5.0
         return max(base, int(np.ceil(base * scale)))
 
+    def validate(self) -> None:
+        """Reject configurations no solver could satisfy.
+
+        Arbitrary grids are first-class, so failure modes that used to
+        surface as preset-table KeyErrors must be caught here instead:
+        a link class that strands a router, or a radix of zero.
+        """
+        if self.link_class not in _DEFAULT_DIAMETER:
+            raise ValueError(
+                f"unknown link class {self.link_class!r} "
+                f"(expected one of {sorted(_DEFAULT_DIAMETER)})"
+            )
+        if self.radix < 1:
+            raise ValueError(f"radix must be >= 1, got {self.radix}")
+        if self.layout.n < 2:
+            raise ValueError(f"layout {self.layout} has fewer than 2 routers")
+        if self.min_links_per_router > self.radix:
+            raise ValueError(
+                f"min_links_per_router {self.min_links_per_router} exceeds "
+                f"radix {self.radix}"
+            )
+
+    # -- pure-data codecs (runner payloads / cache keys) --------------------
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-clean encoding (`traffic_weights` expanded to lists)."""
+        return {
+            "layout": [self.layout.rows, self.layout.cols],
+            "link_class": self.link_class,
+            "radix": int(self.radix),
+            "symmetric": bool(self.symmetric),
+            "diameter_bound": (
+                None if self.diameter_bound is None else int(self.diameter_bound)
+            ),
+            "traffic_weights": (
+                None
+                if self.traffic_weights is None
+                else np.asarray(self.traffic_weights, dtype=float).tolist()
+            ),
+            "min_links_per_router": int(self.min_links_per_router),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, object]) -> "NetSmithConfig":
+        rows, cols = doc["layout"]
+        weights = doc.get("traffic_weights")
+        return cls(
+            layout=Layout(rows=int(rows), cols=int(cols)),
+            link_class=str(doc["link_class"]),
+            radix=int(doc.get("radix", 4)),
+            symmetric=bool(doc.get("symmetric", False)),
+            diameter_bound=(
+                None if doc.get("diameter_bound") is None
+                else int(doc["diameter_bound"])
+            ),
+            traffic_weights=(
+                None if weights is None else np.asarray(weights, dtype=float)
+            ),
+            min_links_per_router=int(doc.get("min_links_per_router", 1)),
+        )
+
 
 @dataclass
 class FormulationHandles:

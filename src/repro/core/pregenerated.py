@@ -51,17 +51,30 @@ def lookup(kind: str, link_class: str, n_routers: int) -> Optional[List[Link]]:
 _KIND_LABEL = {"latop": "NS-LatOp", "scop": "NS-SCOp", "shufopt": "NS-ShufOpt"}
 
 
+#: kind -> the design-pipeline objective it maps to.
+_KIND_OBJECTIVE = {"latop": "latency", "scop": "sparsest_cut", "shufopt": "shuffle"}
+
+
 def netsmith_topology(
     kind: str,
     link_class: str,
     n_routers: int = 20,
     allow_generate: bool = True,
     time_limit: float = 120.0,
+    runner=None,
+    strategy: Optional[str] = None,
 ) -> Topology:
-    """A NetSmith topology for a standard configuration.
+    """A NetSmith topology for a named configuration.
 
-    Serves the frozen registry; with ``allow_generate`` falls back to a
-    live (time-limited) solve for unregistered configurations.
+    Serves the frozen registry; with ``allow_generate`` unregistered
+    configurations (any router count — non-standard sizes get the
+    most-square grid) fall back to the design-space pipeline's cached
+    ``generation`` stage.  A :class:`~repro.runner.Runner` carrying a
+    cache makes the fallback solve/anneal once per configuration across
+    runs; without one the generation runs inline and uncached, exactly
+    like the direct ``generate_*`` calls it replaces.  ``strategy``
+    picks the generation strategy (milp/sa/portfolio); the default is
+    the exact solve, matching the historical behaviour.
     """
     if kind not in _KIND_LABEL:
         raise ValueError(f"kind must be latop/scop/shufopt, got {kind!r}")
@@ -73,16 +86,24 @@ def netsmith_topology(
     if not allow_generate:
         raise KeyError(f"no frozen topology for {(kind, link_class, n_routers)}")
 
-    from .netsmith import NetSmithConfig, generate_latop, generate_shufopt
-    from .scop import generate_scop
+    from ..pipeline import DesignPoint, generate_point
 
-    cfg = NetSmithConfig(layout=layout, link_class=link_class)
-    if kind == "latop":
-        return generate_latop(cfg, time_limit=time_limit).topology
-    if kind == "shufopt":
-        return generate_shufopt(cfg, time_limit=time_limit).topology
-    gen, _ = generate_scop(cfg, time_limit=time_limit / 4)
-    return gen.topology
+    point = DesignPoint(
+        rows=layout.rows,
+        cols=layout.cols,
+        link_class=link_class,
+        objective=_KIND_OBJECTIVE[kind],
+        strategy=strategy or "milp",
+        # generate_scop budgets per lazy iteration; keep the historical
+        # "quarter of the budget per iteration" split.
+        time_limit=time_limit / 4 if kind == "scop" else time_limit,
+        use_frozen=False,  # the registry was consulted above
+    )
+    result = generate_point(point, runner=runner)
+    topo = result.topology
+    return Topology(
+        layout, topo.directed_links, name=name, link_class=link_class
+    )
 
 
 # ---------------------------------------------------------------------------

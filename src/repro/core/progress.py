@@ -79,8 +79,15 @@ def record_progress_bnb(
     if seed_incumbent and "initial_incumbent" not in solve_kw:
         from .search import anneal_topology
 
-        sa = anneal_topology(config, objective="latency", steps=600, seed=0)
-        solve_kw["initial_incumbent"] = sa.objective
+        try:
+            sa = anneal_topology(config, objective="latency", steps=600, seed=0)
+        except ValueError:
+            # Best-effort seed only: a diameter bound the short anneal
+            # cannot reach (or any other SA infeasibility) must not kill
+            # the recording — run unseeded, as before seeding existed.
+            pass
+        else:
+            solve_kw["initial_incumbent"] = sa.objective
     handles.model.solve(backend="bnb", time_limit=time_limit, **solve_kw)
     return curve
 

@@ -9,6 +9,16 @@ local search on small instances.
 Moves rewire one directed link at a time, preserving in/out radix and the
 valid-link set; the cost is the exact objective (total hops for LatOp,
 negated sparsest cut for SCOp) evaluated on the candidate topology.
+
+The move loop is incremental: the adjacency matrix, in/out degree
+arrays, and the membership mask over the valid-link set are maintained
+across steps (swap applied in place, reverted on rejection) instead of
+being rebuilt from the link list per move, and candidate links are
+selected with one vectorized mask over the pre-indexed valid-link
+arrays.  Candidate ordering and the RNG call sequence match the original
+list-rebuilding implementation exactly, so results are unchanged — only
+the per-step cost drops from "rebuild everything" to one all-pairs
+shortest-path evaluation (the irreducible exact-objective part).
 """
 
 from __future__ import annotations
@@ -18,6 +28,8 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
 import numpy as np
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import shortest_path
 
 from ..topology import Layout, Topology, average_hops, sparsest_cut
 from .netsmith import GenerationResult, NetSmithConfig
@@ -87,74 +99,119 @@ def anneal_topology(
     ``objective``: ``"latency"`` minimizes (weighted) total hops;
     ``"sparsest_cut"`` maximizes the exact sparsest-cut value with a small
     hop tie-break (mirroring :func:`repro.core.scop.generate_scop`).
+
+    An explicit ``config.diameter_bound`` is honored (C8): excess
+    diameter is penalized into infeasibility during the search and the
+    final topology is checked, raising if the bound cannot be met —
+    so an SA (or portfolio) design point never silently ships a
+    bound-violating topology.  Without a bound the cost is exactly the
+    historical unconstrained objective.
     """
     layout = config.layout
     rng = np.random.default_rng(seed)
     allowed = layout.valid_links(config.link_class)
-    allowed_set = set(allowed)
     radix = config.radix
 
     if objective == "sparsest_cut" and layout.n > 22:
         raise ValueError("sparsest-cut objective needs exact cuts (n <= 22)")
 
-    def cost(t: Topology) -> float:
-        if objective == "latency":
-            return _total_hops(t, config.traffic_weights)
-        h = _total_hops(t, None)
-        if not math.isfinite(h):
+    n = layout.n
+
+    # C8: with an explicit diameter bound, excess diameter is penalized
+    # steeply enough to dominate any hop/cut difference, steering the
+    # search into the feasible region (and the final result is checked).
+    # An unset bound keeps the historical unconstrained cost exactly.
+    diam_bound = config.diameter_bound
+    _DIAM_PENALTY = 1e7
+
+    def cost_of(adj: np.ndarray) -> float:
+        d = shortest_path(
+            csr_matrix(adj.astype(np.int8)), method="D", unweighted=True
+        )
+        if not np.isfinite(d).all():
             return float("inf")
-        b = sparsest_cut(t, exact=True).value
-        return -b * 1e4 + 1e-4 * h
+        penalty = 0.0
+        if diam_bound is not None:
+            penalty = _DIAM_PENALTY * max(0.0, float(d.max()) - diam_bound)
+        if objective == "latency":
+            w = config.traffic_weights
+            h = float(d.sum()) if w is None else float((d * w).sum())
+            return h + penalty
+        b = sparsest_cut(Topology.from_adjacency(layout, adj), exact=True).value
+        return -b * 1e4 + 1e-4 * float(d.sum()) + penalty
 
     if initial is not None:
         links = sorted(initial.directed_links)
     else:
         links = _initial_directed(layout, allowed, radix, rng)
 
-    def degrees(ls):
-        out_deg = np.zeros(layout.n, dtype=int)
-        in_deg = np.zeros(layout.n, dtype=int)
-        for a, b in ls:
-            out_deg[a] += 1
-            in_deg[b] += 1
-        return out_deg, in_deg
+    # Pre-indexed valid-link set for vectorized candidate masks.
+    allowed_arr = np.asarray(allowed, dtype=np.intp)
+    a_src, a_dst = allowed_arr[:, 0], allowed_arr[:, 1]
+    allowed_idx = {l: k for k, l in enumerate(allowed)}
+
+    # Incremental state: maintained across steps, reverted on rejection.
+    # An `initial` topology may carry links outside the valid-link set
+    # (e.g. polished down from a longer link class); they participate in
+    # degrees/adjacency and can be dropped by moves, but never index the
+    # candidate mask — exactly the set-membership semantics of the
+    # original list-rebuilding loop.
+    adj = np.zeros((n, n), dtype=bool)
+    out_deg = np.zeros(n, dtype=np.intp)
+    in_deg = np.zeros(n, dtype=np.intp)
+    in_cur = np.zeros(len(allowed), dtype=bool)
+    for a, b in links:
+        adj[a, b] = True
+        out_deg[a] += 1
+        in_deg[b] += 1
+        k = allowed_idx.get((a, b))
+        if k is not None:
+            in_cur[k] = True
 
     cur = list(links)
-    cur_cost = cost(Topology(layout, cur, link_class=config.link_class))
+    cur_cost = cost_of(adj)
     best, best_cost = list(cur), cur_cost
 
     for step in range(steps):
         temp = t0 * (t1 / t0) ** (step / max(steps - 1, 1))
-        out_deg, in_deg = degrees(cur)
         drop_idx = int(rng.integers(len(cur)))
-        dropped = cur[drop_idx]
-        cur_set = set(cur)
-        od = out_deg.copy()
-        idg = in_deg.copy()
-        od[dropped[0]] -= 1
-        idg[dropped[1]] -= 1
-        cands = [
-            l
-            for l in allowed
-            if l not in cur_set
-            and l != dropped
-            and od[l[0]] < radix
-            and idg[l[1]] < radix
-        ]
+        da, db = dropped = cur[drop_idx]
+        # Same candidate set, in the same `allowed` order, as the
+        # original per-move list rebuild: links outside the current set
+        # whose endpoints have radix headroom once `dropped` is removed.
+        ok = (
+            ~in_cur
+            & (out_deg[a_src] - (a_src == da) < radix)
+            & (in_deg[a_dst] - (a_dst == db) < radix)
+        )
         if config.symmetric:
-            cands = [l for l in cands if (l[1], l[0]) in cur_set or l == dropped]
-        if not cands:
+            ok &= adj[a_dst, a_src]  # reverse link present (pre-drop)
+        cands = np.nonzero(ok)[0]
+        if cands.size == 0:
             continue
-        added = cands[int(rng.integers(len(cands)))]
-        trial = cur[:drop_idx] + cur[drop_idx + 1 :] + [added]
-        t = Topology(layout, trial, link_class=config.link_class)
-        c = cost(t)
+        added_k = int(cands[int(rng.integers(cands.size))])
+        aa, ab = added = allowed[added_k]
+        adj[da, db] = False
+        adj[aa, ab] = True
+        c = cost_of(adj)
         if c < cur_cost or rng.random() < math.exp(
             -(c - cur_cost) / max(temp, 1e-9)
         ):
-            cur, cur_cost = trial, c
+            cur = cur[:drop_idx] + cur[drop_idx + 1 :] + [added]
+            cur_cost = c
+            out_deg[da] -= 1
+            in_deg[db] -= 1
+            out_deg[aa] += 1
+            in_deg[ab] += 1
+            dropped_k = allowed_idx.get(dropped)
+            if dropped_k is not None:
+                in_cur[dropped_k] = False
+            in_cur[added_k] = True
             if c < best_cost:
-                best, best_cost = list(trial), c
+                best, best_cost = list(cur), c
+        else:
+            adj[aa, ab] = False
+            adj[da, db] = True
 
     suffix = "LatOp" if objective == "latency" else "SCOp"
     topo = Topology(
@@ -164,6 +221,14 @@ def anneal_topology(
         link_class=config.link_class,
     )
     topo.check(radix=radix, link_class=config.link_class)
+    if diam_bound is not None:
+        d = topo.hop_matrix()
+        if float(d.max()) > diam_bound:
+            raise ValueError(
+                f"{topo.name}: annealing could not satisfy diameter bound "
+                f"{diam_bound} (reached {int(d.max())}); raise `steps` or "
+                "relax the bound"
+            )
     obj_val = (
         _total_hops(topo, config.traffic_weights)
         if objective == "latency"

@@ -11,11 +11,14 @@ design on the frontier.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from ..routing import channel_loads, throughput_bounds
 from ..topology import average_hops
-from .registry import Entry, roster, routed_entry
+from .registry import Entry, roster, routed_entries
+
+if TYPE_CHECKING:
+    from ..runner import Runner
 
 
 @dataclass
@@ -33,11 +36,18 @@ def fig1_points(
     link_classes: Tuple[str, ...] = ("small", "medium", "large"),
     allow_generate: bool = True,
     seed: int = 0,
+    runner: Optional["Runner"] = None,
 ) -> List[Fig1Point]:
+    """With a :class:`~repro.runner.Runner`, table compilations (the
+    MCLB LP solves dominating this figure) fan out and cache as
+    ``routing`` tasks; reruns skip routing entirely."""
     points: List[Fig1Point] = []
     for cls in link_classes:
-        for entry in roster(cls, n_routers, allow_generate=allow_generate):
-            table = routed_entry(entry, seed=seed)
+        entries = roster(
+            cls, n_routers, allow_generate=allow_generate, runner=runner
+        )
+        tables = routed_entries(entries, seed=seed, runner=runner)
+        for entry, table in zip(entries, tables):
             routes_max = 0
             # rebuild route set from the table for load analysis
             from ..routing.paths import PathSet

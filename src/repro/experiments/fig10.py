@@ -57,10 +57,18 @@ def fig10_curves(
     rates = tuple(rates or DEFAULT_RATES)
     cast = []
     for cls in link_classes:
-        entries = roster(cls, n_routers, include_lpbt=False, allow_generate=allow_generate)
+        entries = roster(
+            cls, n_routers, include_lpbt=False,
+            allow_generate=allow_generate, runner=runner,
+        )
         try:
             entries.append(
-                Entry(netsmith_topology("shufopt", cls, n_routers, allow_generate), MCLB)
+                Entry(
+                    netsmith_topology(
+                        "shufopt", cls, n_routers, allow_generate, runner=runner
+                    ),
+                    MCLB,
+                )
             )
         except KeyError:
             pass

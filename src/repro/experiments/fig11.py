@@ -70,7 +70,7 @@ def fig11_points(
     for cls in link_classes:
         for entry in roster(
             cls, n_routers, include_lpbt=False, include_scop=False,
-            allow_generate=allow_generate,
+            allow_generate=allow_generate, runner=runner,
         ):
             if entry.name == "Kite-Large" and n_routers == 48:
                 continue  # the paper could not scale Kite-Large to 8x6

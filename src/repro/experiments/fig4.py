@@ -5,10 +5,13 @@ bidirectional from unidirectional links)."""
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
 
 from ..core.pregenerated import netsmith_topology
 from ..topology import CutResult, Topology, ascii_art, sparsest_cut
+
+if TYPE_CHECKING:
+    from ..runner import Runner
 
 
 @dataclass
@@ -18,8 +21,16 @@ class Fig4Result:
     rendering: str
 
 
-def fig4_render(n_routers: int = 20, allow_generate: bool = True) -> Fig4Result:
-    topo = netsmith_topology("latop", "medium", n_routers, allow_generate)
+def fig4_render(
+    n_routers: int = 20,
+    allow_generate: bool = True,
+    runner: Optional["Runner"] = None,
+) -> Fig4Result:
+    """A runner routes any live-generation fallback through the cached
+    ``generation`` stage (frozen configurations never solve)."""
+    topo = netsmith_topology(
+        "latop", "medium", n_routers, allow_generate, runner=runner
+    )
     cut = sparsest_cut(topo, exact=n_routers <= 22)
     u, v = cut.partition
     art = ascii_art(topo)

@@ -80,7 +80,9 @@ def fig6_curves(
     cast = [
         (cls, entry, routed_entry(entry, seed=seed, runner=runner))
         for cls in link_classes
-        for entry in roster(cls, n_routers, allow_generate=allow_generate)
+        for entry in roster(
+            cls, n_routers, allow_generate=allow_generate, runner=runner,
+        )
     ]
     curves: Dict[str, SweepResult] = {}
     if runner is not None:

@@ -54,7 +54,10 @@ def fig7_bars(
 ) -> List[Fig7Bar]:
     layout = standard_layout(n_routers)
     cast = []
-    for entry in roster(link_class, n_routers, include_lpbt=False, allow_generate=allow_generate):
+    for entry in roster(
+        link_class, n_routers, include_lpbt=False,
+        allow_generate=allow_generate, runner=runner,
+    ):
         for policy in (NDBT, MCLB):
             if entry.name.startswith("NS-") and policy == NDBT:
                 continue  # paper: NetSmith employs MCLB routing only

@@ -68,7 +68,10 @@ def fig8_results(
     )
     tables: Dict[str, RoutingTable] = {}
     for cls in link_classes:
-        entries = roster(cls, n_routers, include_lpbt=False, allow_generate=allow_generate)
+        entries = roster(
+            cls, n_routers, include_lpbt=False,
+            allow_generate=allow_generate, runner=runner,
+        )
         if max_entries_per_class is not None:
             # keep the best expert (Kite) and the NetSmith entries
             entries = [

@@ -10,11 +10,14 @@ fraction of interposer area.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from ..power import PowerArea, analyze
 from ..topology import Topology, expert_topology
 from .registry import roster
+
+if TYPE_CHECKING:
+    from ..runner import Runner
 
 
 @dataclass
@@ -30,11 +33,17 @@ def fig9_rows(
     n_routers: int = 20,
     activity: float = 0.3,
     allow_generate: bool = True,
+    runner: Optional["Runner"] = None,
 ) -> List[Fig9Row]:
+    """A runner routes any NetSmith live-generation fallback through the
+    cached ``generation`` stage."""
     base = analyze(expert_topology("Mesh", n_routers), activity=activity)
     rows: List[Fig9Row] = []
     for cls in link_classes:
-        for entry in roster(cls, n_routers, include_lpbt=False, allow_generate=allow_generate):
+        for entry in roster(
+            cls, n_routers, include_lpbt=False,
+            allow_generate=allow_generate, runner=runner,
+        ):
             pa = analyze(entry.topology, activity=activity)
             rows.append(
                 Fig9Row(

@@ -19,16 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
-from ..core.mclb import mclb_route
 from ..core.pregenerated import lookup as ns_lookup, netsmith_topology
-from ..routing import (
-    PathSet,
-    RoutingTable,
-    assign_vcs,
-    build_routing_table,
-    ndbt_route,
-    single_shortest_paths,
-)
+from ..routing import RoutingTable
 from ..topology import Topology, expert_topology, standard_layout
 from ..topology.expert import EXPERT_FAMILIES
 
@@ -57,8 +49,16 @@ def roster(
     include_scop: bool = True,
     include_mesh: bool = False,
     allow_generate: bool = True,
+    runner=None,
 ) -> List[Entry]:
-    """The paper's comparison cast for one link class and size."""
+    """The paper's comparison cast for one link class and size.
+
+    Any router count is accepted: non-standard sizes get the most-square
+    grid, expert families that don't scale to it are skipped, and (with
+    ``allow_generate``) NetSmith contenders come from the design-space
+    pipeline's cached ``generation`` stage — a :class:`repro.runner.Runner`
+    makes those solves one-time across runs.
+    """
     entries: List[Entry] = []
     if include_mesh:
         entries.append(Entry(expert_topology("Mesh", n_routers), NDBT))
@@ -88,17 +88,22 @@ def roster(
     try:
         entries.append(
             Entry(
-                netsmith_topology("latop", link_class, n_routers, allow_generate),
+                netsmith_topology(
+                    "latop", link_class, n_routers, allow_generate, runner=runner
+                ),
                 MCLB,
             )
         )
     except KeyError:
         pass
-    if include_scop and n_routers == 20:
+    # SCOp needs exact sparsest-cut separation (n <= 22).
+    if include_scop and n_routers <= 22:
         try:
             entries.append(
                 Entry(
-                    netsmith_topology("scop", link_class, n_routers, allow_generate),
+                    netsmith_topology(
+                        "scop", link_class, n_routers, allow_generate, runner=runner
+                    ),
                     MCLB,
                 )
             )
@@ -109,8 +114,27 @@ def roster(
 
 _table_cache: Dict[Tuple[str, int, str, str], RoutingTable] = {}
 
-#: Bump to invalidate disk-cached routed tables when routing semantics change.
-ROUTED_TABLE_VERSION = 1
+
+def _memo_key(
+    topo: Topology,
+    policy: str,
+    seed: int,
+    max_vcs: Optional[int] = None,
+    time_limit: float = 60.0,
+) -> Tuple:
+    """In-process memo key, shared by every routed-table entry point.
+
+    Everything that changes the compiled table participates — including
+    the VC budget and the MCLB solve budget, which are caller-tunable.
+    """
+    from ..runner.tasks import default_max_vcs
+
+    if max_vcs is None:
+        max_vcs = default_max_vcs(topo.n)
+    return (
+        topo.name, topo.n, policy,
+        f"{seed}/{topo.num_directed_links}", max_vcs, time_limit,
+    )
 
 
 def routed_table(
@@ -120,6 +144,7 @@ def routed_table(
     max_vcs: Optional[int] = None,
     use_cache: bool = True,
     runner=None,
+    time_limit: float = 60.0,
 ) -> RoutingTable:
     """Route a topology with a named policy and compile its table.
 
@@ -127,50 +152,40 @@ def routed_table(
     20/30-router configuration; irregular 48-router networks with MCLB's
     unconstrained shortest paths can need a few more.
 
-    With a :class:`repro.runner.Runner` carrying a cache, the compiled
-    table is also persisted on disk keyed by the topology's link set and
-    the routing configuration — MCLB's LP solve is seconds per topology,
-    and (unlike a fresh solve) a cached table is identical across runs
-    regardless of solver time limits.
+    Compilation is one ``routing`` pipeline task — run inline here when
+    no runner is given, or through the :class:`repro.runner.Runner`
+    (and therefore the content-addressed disk cache and worker pool)
+    when one is: MCLB's LP solve is seconds per topology, and (unlike a
+    fresh solve) a cached table is identical across runs of the same
+    configuration.  ``time_limit`` and ``max_vcs`` are part of that
+    configuration — both the in-process memo and the disk key include
+    them, so changing a budget recomputes rather than serving a table
+    produced under a different one.
     """
+    if policy not in (NDBT, MCLB, RANDOM_SP):
+        raise ValueError(f"unknown routing policy {policy!r}")
+    from ..runner.tasks import default_max_vcs
+
     if max_vcs is None:
-        max_vcs = 8 if topo.n <= 30 else 14
-    key = (topo.name, topo.n, policy, f"{seed}/{topo.num_directed_links}")
+        max_vcs = default_max_vcs(topo.n)
+    key = _memo_key(topo, policy, seed, max_vcs, time_limit)
     if use_cache and key in _table_cache:
         return _table_cache[key]
 
-    table: Optional[RoutingTable] = None
-    disk_key = None
-    if runner is not None and runner.cache is not None:
-        from ..runner import MISS, decode_table, task_key
+    from ..runner import RoutingJob, decode_table, tasks as runner_tasks
 
-        disk_key = task_key("routed_table", {
-            "version": ROUTED_TABLE_VERSION,
-            "layout": [topo.layout.rows, topo.layout.cols],
-            "links": sorted([int(i), int(j)] for i, j in topo.directed_links),
-            "policy": policy,
-            "seed": int(seed),
-            "max_vcs": int(max_vcs),
-        })
-        doc = runner.cache.get(disk_key)
-        if doc is not MISS:
-            table = decode_table(doc)
-
-    if table is None:
-        if policy == NDBT:
-            routes = ndbt_route(topo, seed=seed)
-        elif policy == MCLB:
-            routes = mclb_route(topo, time_limit=60.0).routes
-        elif policy == RANDOM_SP:
-            routes = single_shortest_paths(topo, seed=seed)
-        else:
-            raise ValueError(f"unknown routing policy {policy!r}")
-        vca = assign_vcs(routes, max_vcs=max_vcs, seed=seed)
-        table = build_routing_table(routes, vca)
-        if disk_key is not None:
-            from ..runner import encode_table
-
-            runner.cache.put(disk_key, encode_table(table))
+    job = RoutingJob(
+        topology=topo, policy=policy, seed=seed,
+        max_vcs=max_vcs, time_limit=time_limit,
+    )
+    if runner is not None:
+        table = runner.tables([job])[0]
+    else:
+        table = decode_table(runner_tasks.routing_task(
+            runner_tasks.routing_payload(topo, policy, seed, max_vcs, time_limit)
+        ))
+        table.topology.name = topo.name
+        table.topology.link_class = topo.link_class
 
     if use_cache:
         _table_cache[key] = table
@@ -179,6 +194,31 @@ def routed_table(
 
 def routed_entry(entry: Entry, seed: int = 0, runner=None) -> RoutingTable:
     return routed_table(entry.topology, entry.policy, seed=seed, runner=runner)
+
+
+def routed_entries(
+    entries: List[Entry], seed: int = 0, runner=None
+) -> List[RoutingTable]:
+    """Compile a whole roster's tables at once.
+
+    With a runner the MCLB/NDBT compilations fan across workers as
+    ``routing`` tasks (and cache); without one this is the serial loop.
+    The in-process memo is shared with :func:`routed_table` either way.
+    """
+    missing = [
+        e for e in entries
+        if _memo_key(e.topology, e.policy, seed) not in _table_cache
+    ]
+    if runner is not None and len(missing) > 1:
+        from ..runner import RoutingJob
+
+        tables = runner.tables([
+            RoutingJob(topology=e.topology, policy=e.policy, seed=seed)
+            for e in missing
+        ])
+        for e, table in zip(missing, tables):
+            _table_cache[_memo_key(e.topology, e.policy, seed)] = table
+    return [routed_entry(e, seed=seed, runner=runner) for e in entries]
 
 
 # ---------------------------------------------------------------------------
@@ -210,15 +250,62 @@ class ExperimentSpec:
 def _run_table2(runner, fast, **kw):
     from .table2 import format_table, table2
 
-    return format_table(table2(20, allow_generate=False))
+    return format_table(table2(20, allow_generate=False, runner=runner), 20)
 
 
 def _run_fig1(runner, fast, **kw):
     from .fig1 import fig1_points, pareto_front
 
-    pts = fig1_points(20, allow_generate=False)
+    pts = fig1_points(20, allow_generate=False, runner=runner)
     front = sorted(p.name for p in pareto_front(pts))
     return {"points": len(pts), "pareto_front": front}
+
+
+def _run_fig4(runner, fast, **kw):
+    from .fig4 import fig4_render
+
+    return fig4_render(20, allow_generate=False, runner=runner)
+
+
+def _run_fig5(runner, fast, **kw):
+    from .fig5 import fig5_curves
+
+    return fig5_curves(time_limit=6.0 if fast else 20.0, runner=runner, **kw)
+
+
+def _summarize_fig5(res):
+    lines = ["Fig. 5 (solver objective-bounds gap, reduced instance):"]
+    for label, curve in res.curves.items():
+        t10 = curve.time_to_gap(0.10)
+        lines.append(
+            f"  {label:<8} final gap {curve.final_gap():.4f}  "
+            f"time-to-10%: {'-' if t10 is None else f'{t10:.2f}s'}"
+        )
+    lines.append(f"convergence order: {res.convergence_order()}")
+    return "\n".join(lines)
+
+
+def _run_fig9(runner, fast, **kw):
+    from .fig9 import fig9_rows
+
+    return fig9_rows(allow_generate=False, runner=runner, **kw)
+
+
+def _summarize_fig9(rows):
+    from .fig9 import ns_large_vs_small_dynamic
+
+    lines = ["Fig. 9 (power/area vs mesh, normalized):"]
+    lines += [
+        f"  {r.name:<18} static {r.normalized['static_power']:.2f} "
+        f"dynamic {r.normalized['dynamic_power']:.2f} "
+        f"wire area {r.normalized['wire_area']:.2f}"
+        for r in rows
+    ]
+    lines.append(
+        f"NS large/small dynamic ratio: {ns_large_vs_small_dynamic(rows):.2f} "
+        "(paper ~0.83)"
+    )
+    return "\n".join(lines)
 
 
 def _fig6_budget(fast):
@@ -353,6 +440,18 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
             "fig1", "latency vs saturation-throughput frontier",
             _run_fig1,
             lambda r: f"Pareto frontier: {r['pareto_front']} ({r['points']} points)",
+        ),
+        ExperimentSpec(
+            "fig4", "example LatOp topology with its sparsest cut",
+            _run_fig4, lambda r: r.rendering,
+        ),
+        ExperimentSpec(
+            "fig5", "solver progress: objective-bounds gap vs time",
+            _run_fig5, _summarize_fig5,
+        ),
+        ExperimentSpec(
+            "fig9", "NoI power/area relative to mesh",
+            _run_fig9, _summarize_fig9,
         ),
         ExperimentSpec(
             "fig6-coherence", "synthetic uniform-random traffic sweeps",

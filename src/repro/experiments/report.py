@@ -24,9 +24,12 @@ if TYPE_CHECKING:
 
 def generate_report(fast: bool = True, runner: Optional["Runner"] = None) -> str:
     """Render the full report; a :class:`~repro.runner.Runner` fans the
-    simulation-heavy sections (Figs. 6, 7, and 8) across workers and
-    caches every sim point and closed-loop run, making regeneration
-    incremental."""
+    simulation-heavy sections (Figs. 6, 7, and 8) across workers, the
+    generation-heavy sections (Table II, Figs. 1 and 9) through the
+    pipeline's cached ``generation``/``routing`` stages, and caches
+    every sim point and closed-loop run, making regeneration
+    incremental — a report rerun never re-solves a MILP, re-routes a
+    topology, or re-anneals a design it has already produced."""
     out = io.StringIO()
     w = out.write
 
@@ -38,7 +41,7 @@ def generate_report(fast: bool = True, runner: Optional["Runner"] = None) -> str
     w("## Table II — topology metrics (20 routers)\n\n")
     w("| class | topology | links (paper) | diam (paper) | hops (paper) | biBW (paper) |\n")
     w("|---|---|---|---|---|---|\n")
-    for row in table2(20, allow_generate=False):
+    for row in table2(20, allow_generate=False, runner=runner):
         m = row.measured
         if row.paper:
             pl, pd, ph, pb = row.paper
@@ -57,7 +60,7 @@ def generate_report(fast: bool = True, runner: Optional["Runner"] = None) -> str
 
     # ---- Fig. 1 ---------------------------------------------------------------
     w("## Fig. 1 — latency vs saturation-throughput frontier\n\n")
-    pts = fig1_points(20, allow_generate=False)
+    pts = fig1_points(20, allow_generate=False, runner=runner)
     front = {p.name for p in pareto_front(pts)}
     w(f"Pareto frontier: {sorted(front)}\n\n")
     non_ns = [n for n in front if not n.startswith("NS-")]
@@ -122,7 +125,7 @@ def generate_report(fast: bool = True, runner: Optional["Runner"] = None) -> str
 
     # ---- Fig. 9 ---------------------------------------------------------------
     w("## Fig. 9 — power/area vs mesh\n\n")
-    rows9 = fig9_rows(allow_generate=False)
+    rows9 = fig9_rows(allow_generate=False, runner=runner)
     w("| topology | static | dynamic | total power | wire area |\n")
     w("|---|---|---|---|---|\n")
     for r in rows9:

@@ -3,10 +3,13 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from ..topology import TopologyMetrics, summarize
 from .registry import Entry, roster
+
+if TYPE_CHECKING:
+    from ..runner import Runner
 
 #: Paper-published Table II values: name -> (links, diam, avg hops, bi bw).
 PAPER_TABLE2_20: Dict[Tuple[str, str], Tuple[int, int, float, int]] = {
@@ -62,8 +65,13 @@ def table2(
     link_classes: Tuple[str, ...] = ("small", "medium", "large"),
     allow_generate: bool = True,
     exact_cuts: Optional[bool] = None,
+    runner: Optional["Runner"] = None,
 ) -> List[Table2Row]:
-    """Regenerate Table II's measured rows for one system size."""
+    """Regenerate Table II's measured rows for one system size.
+
+    A runner routes any NetSmith live-generation fallback through the
+    cached ``generation`` stage (frozen entries never solve).
+    """
     paper = PAPER_TABLE2_20 if n_routers == 20 else PAPER_TABLE2_30
     rows: List[Table2Row] = []
     for cls in link_classes:
@@ -72,6 +80,7 @@ def table2(
             n_routers,
             include_scop=(n_routers == 20),
             allow_generate=allow_generate,
+            runner=runner,
         ):
             metrics = summarize(entry.topology, exact=exact_cuts)
             rows.append(

@@ -1,0 +1,46 @@
+"""Design-space exploration: declarative points, staged cached pipeline.
+
+A :class:`DesignPoint` (grid, link class, objective, strategy, seed,
+budgets) flows through staged **generate -> route -> evaluate** work,
+each stage a content-addressed runner task family, so MILP solves,
+annealing runs, MCLB routing, and saturation probes fan across worker
+processes and cache exactly like sim points.  ``explore()`` sweeps a
+grid of points and ranks the outcomes; ``repro explore`` is the CLI
+surface.
+
+Layers:
+
+* :mod:`~repro.pipeline.design` — :class:`DesignPoint` and
+  :func:`design_grid` (the declarative surface + worker-side dispatch);
+* :mod:`~repro.pipeline.stages` — staged batch execution with portfolio
+  expansion (SA warm-starting the exact solve) and best-wins merge;
+* :mod:`~repro.pipeline.explore` — end-to-end sweeps, ranking, and
+  on-disk artifacts.
+"""
+
+from .design import MAX_SCOP_ROUTERS, OBJECTIVES, STRATEGIES, DesignPoint, design_grid
+from .explore import ExploreResult, ExploreRow, explore, point_artifact_path
+from .stages import (
+    PointEvaluation,
+    evaluate_tables,
+    generate_point,
+    generate_points,
+    route_topologies,
+)
+
+__all__ = [
+    "DesignPoint",
+    "design_grid",
+    "OBJECTIVES",
+    "STRATEGIES",
+    "MAX_SCOP_ROUTERS",
+    "generate_point",
+    "generate_points",
+    "route_topologies",
+    "evaluate_tables",
+    "PointEvaluation",
+    "explore",
+    "ExploreResult",
+    "ExploreRow",
+    "point_artifact_path",
+]

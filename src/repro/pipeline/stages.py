@@ -1,0 +1,240 @@
+"""The staged generate -> route -> evaluate pipeline over design points.
+
+Each stage is a batch of content-addressed runner tasks (families
+``generation``, ``routing``, and the existing ``sat_search``), so MILP
+solves, annealing runs, MCLB table compilations, and saturation probes
+all fan across worker processes and cache exactly like sim points do:
+a re-run of any sweep is pure cache hits, and an interrupted sweep
+resumes at task granularity.
+
+Portfolio expansion happens here, in two waves:
+
+1. every portfolio point's SA unit runs (alongside all plain ``sa``
+   and ``milp`` points);
+2. every portfolio point's exact unit runs, warm-started from its SA
+   result where the backend can consume it (``initial_incumbent``
+   through ``solve_bnb`` for distance objectives on the ``bnb``
+   backend, an initial lazy cut for SCOp on either backend);
+
+then a best-wins merge picks, per point, the better of the two by
+objective value within the point's budgets.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..runner import tasks as _tasks
+from ..runner.orchestrator import Runner, RoutingJob, SaturationJob
+from .design import DesignPoint
+
+#: Objectives where smaller is better (sparsest cut maximizes).
+_MINIMIZING = {"latency": True, "shuffle": True, "sparsest_cut": False}
+
+
+@contextmanager
+def _ensure_runner(runner: Optional[Runner]):
+    """The caller's runner, or an ephemeral serial/uncached one.
+
+    The ephemeral fallback keeps the no-runner path byte-equivalent to
+    direct in-process calls: no worker processes, no disk writes.
+    """
+    if runner is not None:
+        yield runner
+        return
+    with Runner(parallel=1, no_cache=True) as ephemeral:
+        yield ephemeral
+
+
+def _failure(res: Any) -> Optional[str]:
+    """The error string of a failed generation result, else ``None``.
+
+    ``generation`` tasks decode to a :class:`GenerationResult` on
+    success and to the raw ``{"ok": false, "error": ...}`` dict on
+    failure (failures are data, never cached).
+    """
+    if res is None:
+        return "unknown"
+    if isinstance(res, dict):
+        return str(res.get("error", "unknown"))
+    return None
+
+
+def _better(objective: str, a: Any, b: Any) -> Any:
+    """Best-wins merge of two generation results (failures lose).
+
+    Ties go to ``b`` — the exact wave-2 half in portfolio merges — so a
+    proven-optimal result (status/mip_gap certificates included) is
+    never discarded for an equal-valued heuristic one.
+    """
+    if _failure(a) is not None:
+        return b
+    if _failure(b) is not None:
+        return a
+    if _MINIMIZING[objective]:
+        return a if a.objective < b.objective else b
+    return a if a.objective > b.objective else b
+
+
+def generate_points(
+    points: Sequence[DesignPoint],
+    runner: Optional[Runner] = None,
+) -> List[Any]:
+    """Generate one topology per design point (stage 1).
+
+    Returns :class:`~repro.core.netsmith.GenerationResult` objects in
+    submission order.  Portfolio points expand into an SA wave and a
+    warm-started exact wave with a best-wins merge; a point whose every
+    strategy failed raises with the collected errors.
+    """
+    points = list(points)
+    for p in points:
+        p.validate()
+    with _ensure_runner(runner) as r:
+        results: List[Optional[Any]] = [None] * len(points)
+        errors: Dict[int, List[str]] = {}
+
+        # Wave 1: all atomic points, plus every portfolio point's SA half.
+        wave1: List[Tuple[int, Dict[str, Any]]] = []
+        for i, p in enumerate(points):
+            unit = replace(p, strategy="sa") if p.strategy == "portfolio" else p
+            wave1.append((i, _tasks.generation_payload(unit)))
+        wave1_results = r.run_tasks("generation", [pl for _, pl in wave1])
+        for (i, payload), res in zip(wave1, wave1_results):
+            results[i] = res
+            err = _failure(res)
+            if err is not None:
+                errors.setdefault(i, []).append(
+                    f"{payload['point']['strategy']}: {err}"
+                )
+
+        # Wave 2: the exact half of each portfolio point, seeded from SA.
+        wave2: List[Tuple[int, Dict[str, Any]]] = []
+        for i, p in enumerate(points):
+            if p.strategy != "portfolio":
+                continue
+            sa = results[i]
+            exact = replace(p, strategy="milp")
+            if _failure(sa) is not None:
+                wave2.append((i, _tasks.generation_payload(exact)))
+            elif p.objective == "sparsest_cut":
+                wave2.append((i, _tasks.generation_payload(
+                    exact, seed_links=sa.topology.directed_links,
+                )))
+            elif p.backend == "bnb":
+                # solve_bnb is the only backend with a MIP-start hook;
+                # a seed HiGHS cannot consume stays out of the payload
+                # (and therefore out of the cache key).
+                wave2.append((i, _tasks.generation_payload(
+                    exact, seed_incumbent=sa.objective,
+                )))
+            else:
+                wave2.append((i, _tasks.generation_payload(exact)))
+        if wave2:
+            wave2_results = r.run_tasks("generation", [pl for _, pl in wave2])
+            for (i, _payload), res in zip(wave2, wave2_results):
+                err = _failure(res)
+                if err is not None:
+                    errors.setdefault(i, []).append(f"milp: {err}")
+                results[i] = _better(points[i].objective, results[i], res)
+
+        failed = [i for i, res in enumerate(results) if _failure(res) is not None]
+        if failed:
+            detail = "; ".join(
+                f"{points[i].label()} ({'; '.join(errors.get(i, ['unknown']))})"
+                for i in failed
+            )
+            raise RuntimeError(f"generation failed for: {detail}")
+        return results
+
+
+def generate_point(point: DesignPoint, runner: Optional[Runner] = None):
+    """Single-point convenience wrapper over :func:`generate_points`."""
+    return generate_points([point], runner=runner)[0]
+
+
+def route_topologies(
+    topologies: Sequence[Any],
+    policy: str = "mclb",
+    seed: int = 0,
+    max_vcs: Optional[int] = None,
+    time_limit: float = 60.0,
+    runner: Optional[Runner] = None,
+) -> List[Any]:
+    """Route + VC-allocate + compile tables for many topologies (stages
+    2-3), fanned across workers as ``routing`` tasks keyed by link set
+    (identically-linked topologies share one compilation)."""
+    jobs = [
+        RoutingJob(
+            topology=topo, policy=policy, seed=seed,
+            max_vcs=max_vcs, time_limit=time_limit,
+        )
+        for topo in topologies
+    ]
+    with _ensure_runner(runner) as r:
+        return r.tables(jobs)
+
+
+@dataclass
+class PointEvaluation:
+    """Stage-4 measurements for one routed design point."""
+
+    avg_hops: float
+    diameter: int
+    sparsest_cut: float
+    #: Measured saturation injection rate, packets/node/cycle.
+    saturation: float
+    #: The same, in packets/node/ns at the link class's clock.
+    saturation_ns: float
+
+
+def evaluate_tables(
+    tables: Sequence[Any],
+    link_classes: Sequence[Optional[str]],
+    seed: int = 0,
+    warmup: int = 300,
+    measure: int = 900,
+    iters: int = 5,
+    runner: Optional[Runner] = None,
+    engine: Optional[str] = None,
+) -> List[PointEvaluation]:
+    """Evaluate routed tables: graph metrics locally (cheap, exact for
+    n <= 22) plus a uniform-traffic saturation search per table through
+    the cached ``sat_search`` family."""
+    from ..topology import (
+        CLASS_CLOCK_GHZ,
+        average_hops,
+        diameter as topo_diameter,
+        sparsest_cut,
+    )
+
+    with _ensure_runner(runner) as r:
+        jobs = [
+            SaturationJob(
+                table=t,
+                traffic=_tasks.TrafficSpec.uniform(t.topology.n),
+                name=t.topology.name,
+                warmup=warmup,
+                measure=measure,
+                iters=iters,
+                seed=seed,
+                engine=engine,
+            )
+            for t in tables
+        ]
+        saturations = r.saturations(jobs)
+
+    out: List[PointEvaluation] = []
+    for table, cls, sat in zip(tables, link_classes, saturations):
+        topo = table.topology
+        clock = CLASS_CLOCK_GHZ.get(cls or topo.link_class or "", 1.0)
+        out.append(PointEvaluation(
+            avg_hops=average_hops(topo),
+            diameter=topo_diameter(topo),
+            sparsest_cut=sparsest_cut(topo, exact=topo.n <= 22).value,
+            saturation=float(sat),
+            saturation_ns=float(sat) * clock,
+        ))
+    return out

@@ -20,7 +20,14 @@ Layers (see ``docs/ARCHITECTURE.md``):
 from .cache import MISS, CacheStats, ResultCache, default_cache_dir
 from .executor import ParallelExecutor, default_workers, derive_seed
 from .hashing import canonical_json, config_hash
-from .orchestrator import ClosedLoopJob, CurveJob, Runner, SaturationJob, task_key
+from .orchestrator import (
+    ClosedLoopJob,
+    CurveJob,
+    RoutingJob,
+    Runner,
+    SaturationJob,
+    task_key,
+)
 from .tasks import TrafficSpec, decode_table, encode_table
 
 __all__ = [
@@ -28,6 +35,7 @@ __all__ = [
     "CurveJob",
     "SaturationJob",
     "ClosedLoopJob",
+    "RoutingJob",
     "TrafficSpec",
     "ResultCache",
     "CacheStats",

@@ -72,6 +72,23 @@ class SaturationJob:
 
 
 @dataclass
+class RoutingJob:
+    """One route + VC-allocate + table-compile unit (generation side).
+
+    The unit the design-space pipeline and ``registry.routed_table``
+    fan out: MCLB's LP solve is seconds per topology, so a roster's
+    tables parallelize and cache like sim points do.
+    """
+
+    topology: Any  # repro.topology.Topology
+    policy: str = "mclb"
+    seed: int = 0
+    #: None = the size-scaled default (8 up to 30 routers, 14 above).
+    max_vcs: Optional[int] = None
+    time_limit: float = 60.0
+
+
+@dataclass
 class ClosedLoopJob:
     """One full-system closed-loop run: a (benchmark, topology) pair.
 
@@ -151,12 +168,23 @@ class Runner:
                 results[i] = self.cache.get(key)
         todo = [i for i, r in enumerate(results) if r is MISS]
         if todo:
-            fresh = self.executor.map(fn, [payloads[i] for i in todo])
-            for i, value in zip(todo, fresh):
-                results[i] = value
+            # Identical payloads within one batch compute (and cache)
+            # once; every duplicate index shares the fresh value.  The
+            # final decode still runs per index, so callers get
+            # independent objects.
+            slot: Dict[str, int] = {}
+            unique: List[int] = []
+            for i in todo:
+                if keys[i] not in slot:
+                    slot[keys[i]] = len(unique)
+                    unique.append(i)
+            fresh = self.executor.map(fn, [payloads[i] for i in unique])
+            for i, value in zip(unique, fresh):
                 failed = isinstance(value, dict) and value.get("ok") is False
                 if self.cache is not None and not failed:
                     self.cache.put(keys[i], value)
+            for i in todo:
+                results[i] = fresh[slot[keys[i]]]
         return [decode(r) for r in results]
 
     # -- simulation workloads ------------------------------------------------
@@ -276,6 +304,30 @@ class Runner:
             for j in jobs
         ]
         return self.run_tasks("closed_loop", payloads)
+
+    # -- generation-side workloads -------------------------------------------
+    def tables(self, jobs: Sequence[RoutingJob]) -> List[RoutingTable]:
+        """Fan routing-table compilations across workers (cached).
+
+        Cache identity is the link set + routing configuration, never
+        the topology's display name, so identically-linked topologies
+        share one compilation; each returned table carries its own
+        job's name/link class regardless of who computed the entry.
+        """
+        payloads = [
+            tasks.routing_payload(
+                j.topology, j.policy, j.seed,
+                j.max_vcs if j.max_vcs is not None
+                else tasks.default_max_vcs(j.topology.n),
+                j.time_limit,
+            )
+            for j in jobs
+        ]
+        results = self.run_tasks("routing", payloads)
+        for job, table in zip(jobs, results):
+            table.topology.name = job.topology.name
+            table.topology.link_class = job.topology.link_class
+        return results
 
     # -- experiment-level entry point ---------------------------------------
     def run_experiment(self, name: str, fast: bool = True, **kwargs) -> Any:

@@ -14,7 +14,13 @@ Pure data serves three masters at once:
 Two task families cover the simulation workloads: ``sim_point`` (one
 injection-rate sample — the unit fanned out by sweeps) and
 ``sat_search`` (one binary-search saturation probe sequence, fanned out
-across topologies in Figs. 7 and 11).
+across topologies in Figs. 7 and 11).  The design-space pipeline adds
+three more on the *generation* side: ``generation`` (one topology
+generation — a MILP solve or an annealing run for one
+:class:`~repro.pipeline.DesignPoint` strategy), ``routing`` (route +
+VC-allocate + compile one topology's table), and ``gap_curve`` (one
+Fig. 5 solver-progress recording).  MILP solves and SA runs fan across
+workers and cache exactly like sim points do.
 """
 
 from __future__ import annotations
@@ -49,8 +55,12 @@ from ..topology import Layout, Topology
 #: version bump keeps cache provenance unambiguous).  v4: the
 #: ``closed_loop`` task family (full-system PARSEC runs) joins the
 #: payload surface; sim-point/saturation results are unchanged but the
-#: version bump keeps one provenance line for the whole store.
-TASK_VERSION = 4
+#: version bump keeps one provenance line for the whole store.  v5: the
+#: design-space pipeline's ``generation``, ``routing``, and
+#: ``gap_curve`` task families join (topology generation, table
+#: compilation, and solver-progress recording become cached, fanned-out
+#: work units); existing simulation results are unchanged.
+TASK_VERSION = 5
 
 
 # ---------------------------------------------------------------------------
@@ -412,10 +422,249 @@ def workload_result_from_dict(doc: Dict[str, Any]):
     )
 
 
+# ---------------------------------------------------------------------------
+# Generation-side task families (the design-space pipeline).
+#
+# Imports are lazy throughout: the MILP/search stack is heavy, and worker
+# processes that only run sim points never need it.
+# ---------------------------------------------------------------------------
+
+def generation_payload(
+    point,
+    seed_incumbent: Optional[float] = None,
+    seed_links: Optional[List[Tuple[int, int]]] = None,
+) -> Dict[str, Any]:
+    """One topology generation for a :class:`~repro.pipeline.DesignPoint`.
+
+    ``seed_incumbent``/``seed_links`` carry a heuristic warm start into
+    an exact solve (the portfolio's second phase): the incumbent
+    objective feeds :func:`repro.milp.branch_and_bound.solve_bnb`'s
+    ``initial_incumbent`` hook for distance objectives, and the seed
+    topology's sparsest-cut partition becomes an initial lazy cut for
+    SCOp.  Both are part of the payload, hence of the cache key.
+
+    Points are canonicalized first (fields the strategy never reads are
+    neutralized), so e.g. re-running an SA sweep under a different
+    exact-solve budget hits the existing cache entries.
+    """
+    return {
+        "task": "generation",
+        "version": TASK_VERSION,
+        "point": point.canonical().as_dict(),
+        "seed_incumbent": (
+            None if seed_incumbent is None else float(seed_incumbent)
+        ),
+        "seed_links": (
+            None
+            if seed_links is None
+            else sorted([int(a), int(b)] for a, b in seed_links)
+        ),
+    }
+
+
+def generation_task(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker entry: generate one topology; failures are data, not raises.
+
+    A MILP that finds no incumbent within budget returns
+    ``{"ok": false}`` so the batch survives, the result is never cached,
+    and the portfolio merge can fall back to the other strategies.
+    """
+    from ..pipeline.design import DesignPoint
+
+    point = DesignPoint.from_dict(payload["point"])
+    try:
+        result = point.generate(
+            seed_incumbent=payload.get("seed_incumbent"),
+            seed_links=(
+                None
+                if payload.get("seed_links") is None
+                else [(int(a), int(b)) for a, b in payload["seed_links"]]
+            ),
+        )
+    except (RuntimeError, ValueError) as exc:
+        return {"ok": False, "error": repr(exc), "strategy": point.strategy}
+    topo = result.topology
+    return {
+        "ok": True,
+        "links": sorted([int(i), int(j)] for i, j in topo.directed_links),
+        "layout": [topo.layout.rows, topo.layout.cols],
+        "link_class": topo.link_class,
+        "name": topo.name,
+        "objective": float(result.objective),
+        "mip_gap": float(result.mip_gap),
+        "status": result.status,
+        "solve_time_s": float(result.solve_time_s),
+        "strategy": point.strategy,
+    }
+
+
+def generation_result_from_dict(doc: Dict[str, Any]):
+    """Decode a generation doc; failed results pass through as the raw
+    failure dict (``{"ok": false, "error": ..., "strategy": ...}``) so
+    callers can surface the solver's actual error."""
+    from ..core.netsmith import GenerationResult
+    from ..topology import Layout, Topology
+
+    if not doc.get("ok"):
+        return doc
+    rows, cols = doc["layout"]
+    topo = Topology(
+        Layout(rows=int(rows), cols=int(cols)),
+        [(int(i), int(j)) for i, j in doc["links"]],
+        name=doc.get("name", "NetSmith"),
+        link_class=doc.get("link_class"),
+    )
+    return GenerationResult(
+        topology=topo,
+        objective=float(doc["objective"]),
+        mip_gap=float(doc["mip_gap"]),
+        status=str(doc["status"]),
+        solve_time_s=float(doc["solve_time_s"]),
+        result=None,
+    )
+
+
+def default_max_vcs(n_routers: int) -> int:
+    """The shared VC-budget heuristic: 8 layers suffice for every
+    20/30-router configuration; irregular 48-router networks with MCLB's
+    unconstrained shortest paths can need a few more.  Every routing
+    payload builder resolves its default through this one function so
+    the rule (part of the cache key) cannot drift between call sites."""
+    return 8 if n_routers <= 30 else 14
+
+
+def routing_payload(
+    topo,
+    policy: str,
+    seed: int,
+    max_vcs: int,
+    time_limit: float = 60.0,
+) -> Dict[str, Any]:
+    """One route + VC-allocate + table-compile unit (pipeline stage 2).
+
+    The topology enters the key as layout + link set only — never its
+    display name or link class, which don't influence routing — so a
+    pipeline-generated design and an identically-linked frozen one share
+    a single cached table (the caller re-attaches its own identity to
+    the decoded result; see :meth:`Runner.tables`).
+    """
+    return {
+        "task": "routing",
+        "version": TASK_VERSION,
+        "topology": {
+            "layout": [topo.layout.rows, topo.layout.cols],
+            "links": sorted([int(i), int(j)] for i, j in topo.directed_links),
+        },
+        "policy": str(policy),
+        "seed": int(seed),
+        "max_vcs": int(max_vcs),
+        "time_limit": float(time_limit),
+    }
+
+
+def routing_task(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker entry: route one topology and compile its table."""
+    from ..core.mclb import mclb_route
+    from ..routing import (
+        assign_vcs,
+        build_routing_table,
+        ndbt_route,
+        single_shortest_paths,
+    )
+
+    doc = payload["topology"]
+    rows, cols = doc["layout"]
+    topo = Topology(
+        Layout(rows=int(rows), cols=int(cols)),
+        [(int(i), int(j)) for i, j in doc["links"]],
+        name=doc.get("name", "topology"),
+        link_class=doc.get("link_class"),
+    )
+    policy, seed = payload["policy"], payload["seed"]
+    if policy == "ndbt":
+        routes = ndbt_route(topo, seed=seed)
+    elif policy == "mclb":
+        routes = mclb_route(topo, time_limit=payload["time_limit"]).routes
+    elif policy == "random":
+        routes = single_shortest_paths(topo, seed=seed)
+    else:
+        raise ValueError(f"unknown routing policy {policy!r}")
+    vca = assign_vcs(routes, max_vcs=payload["max_vcs"], seed=seed)
+    table = build_routing_table(routes, vca)
+    return encode_table(table)
+
+
+def gap_curve_payload(
+    config,
+    time_limit: float,
+    label: str,
+    mode: str = "bnb",
+    seed_incumbent: bool = True,
+    time_points: Optional[Tuple[float, ...]] = None,
+) -> Dict[str, Any]:
+    """One Fig. 5 solver-progress recording (a whole B&B or HiGHS ladder)."""
+    return {
+        "task": "gap_curve",
+        "version": TASK_VERSION,
+        "config": config.as_dict(),
+        "time_limit": float(time_limit),
+        "label": str(label),
+        "mode": str(mode),
+        "seed_incumbent": bool(seed_incumbent),
+        "time_points": (
+            None if time_points is None else [float(t) for t in time_points]
+        ),
+    }
+
+
+def gap_curve_task(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker entry: record one solver-progress curve."""
+    from ..core.netsmith import NetSmithConfig
+    from ..core.progress import record_progress_bnb, record_progress_scipy
+
+    config = NetSmithConfig.from_dict(payload["config"])
+    if payload["mode"] == "bnb":
+        curve = record_progress_bnb(
+            config,
+            time_limit=payload["time_limit"],
+            label=payload["label"],
+            seed_incumbent=payload["seed_incumbent"],
+        )
+    else:
+        curve = record_progress_scipy(
+            config,
+            time_points=payload["time_points"],
+            label=payload["label"],
+        )
+    return {
+        "label": curve.label,
+        "samples": [[s.time_s, s.gap, s.incumbent] for s in curve.samples],
+    }
+
+
+def gap_curve_from_dict(doc: Dict[str, Any]):
+    from ..core.progress import GapCurve, GapSample
+
+    return GapCurve(
+        label=doc["label"],
+        samples=[
+            GapSample(
+                time_s=float(t),
+                gap=float(gap),
+                incumbent=None if inc is None else float(inc),
+            )
+            for t, gap, inc in doc["samples"]
+        ],
+    )
+
+
 #: Task-name -> (worker function, result decoder).  The decoder maps the
 #: JSON value (fresh or cached) back to the caller-facing object.
 TASK_FUNCTIONS = {
     "sim_point": (sim_point_task, stats_from_dict),
     "sat_search": (sat_search_task, float),
     "closed_loop": (closed_loop_task, workload_result_from_dict),
+    "generation": (generation_task, generation_result_from_dict),
+    "routing": (routing_task, decode_table),
+    "gap_curve": (gap_curve_task, gap_curve_from_dict),
 }

@@ -119,11 +119,32 @@ LAYOUT_8X6 = Layout(rows=8, cols=6)  # 48 routers (Fig. 11)
 
 
 def standard_layout(n_routers: int) -> Layout:
-    """Layout for one of the paper's three studied sizes."""
+    """The canonical grid for a router count.
+
+    The paper's three studied sizes map to their published shapes (4x5,
+    6x5, 8x6).  Any other count becomes the most-square ``rows x cols``
+    factorization with ``rows <= cols`` (matching the paper's wider-than
+    -tall orientation), so arbitrary system sizes are first-class design
+    points rather than errors.  Prime counts fall back to a single row.
+    """
     table = {20: LAYOUT_4X5, 30: LAYOUT_6X5, 48: LAYOUT_8X6}
-    try:
+    if n_routers in table:
         return table[n_routers]
-    except KeyError:
-        raise ValueError(
-            f"no standard layout for {n_routers} routers; construct Layout directly"
-        ) from None
+    if n_routers < 2:
+        raise ValueError(f"need at least 2 routers, got {n_routers}")
+    rows = int(math.isqrt(n_routers))
+    while rows > 1 and n_routers % rows:
+        rows -= 1
+    return Layout(rows=rows, cols=n_routers // rows)
+
+
+def parse_layout(spec: str) -> Layout:
+    """A :class:`Layout` from a ``"RxC"`` grid spec (e.g. ``"6x6"``)."""
+    try:
+        rows_s, cols_s = spec.lower().split("x")
+        rows, cols = int(rows_s), int(cols_s)
+    except ValueError:
+        raise ValueError(f"layout spec must look like '4x5', got {spec!r}") from None
+    if rows < 1 or cols < 1 or rows * cols < 2:
+        raise ValueError(f"layout {spec!r} needs at least 2 routers")
+    return Layout(rows=rows, cols=cols)

@@ -57,8 +57,10 @@ class TestLayoutBasics:
 
     def test_standard_layout_lookup(self):
         assert standard_layout(20) is LAYOUT_4X5
+        # non-preset counts get the most-square wider-than-tall grid
+        assert (standard_layout(21).rows, standard_layout(21).cols) == (3, 7)
         with pytest.raises(ValueError):
-            standard_layout(21)
+            standard_layout(1)
 
 
 class TestLinkClasses:

@@ -237,10 +237,14 @@ def test_routed_table_disk_cache(table, tmp_path, monkeypatch):
     assert first.stats.puts == 1
 
     # A fresh process must get the table from disk without re-routing.
+    # (`routing_task` resolves the policy from repro.routing at call
+    # time, so patching the package attribute intercepts any route.)
+    import repro.routing
+
     def boom(*a, **kw):
         raise AssertionError("routing executed despite cached table")
 
-    monkeypatch.setattr(registry, "ndbt_route", boom)
+    monkeypatch.setattr(repro.routing, "ndbt_route", boom)
     second = Runner(parallel=1, cache_dir=str(tmp_path))
     t2 = registry.routed_table(
         topo, registry.NDBT, seed=0, use_cache=False, runner=second
