@@ -34,6 +34,33 @@ def run_once(benchmark, fn, *args, **kwargs):
 
 
 @pytest.fixture
+def require_parallel():
+    """Fail loudly when a parallel-speedup benchmark got a degenerate pool.
+
+    Call with what the runner's maps actually fanned out to
+    (:meth:`repro.runner.Runner.effective_parallel`): 1 on a 1-core box
+    or when the platform silently refused to spawn a process pool.  A
+    speedup measured against a 1-worker "parallel" leg is a measurement
+    of nothing — recording it as a passing result once hid a 1.05x
+    "speedup" in BENCH_generation.json — so the benchmark must FAIL,
+    not skip or pass, and the record must carry the effective count for
+    post-hoc audit.
+    """
+
+    def _check(effective_workers: int, context: str = "") -> None:
+        if effective_workers < 2:
+            pytest.fail(
+                f"degenerate worker pool: parallel leg ran with "
+                f"{effective_workers} effective worker(s)"
+                f"{context and f' ({context})'}; a parallel-speedup floor "
+                "cannot be measured here and a 1-worker baseline must "
+                "not be recorded as a passing result"
+            )
+
+    return _check
+
+
+@pytest.fixture
 def once(benchmark):
     def _run(fn, *args, **kwargs):
         return run_once(benchmark, fn, *args, **kwargs)

@@ -1,0 +1,59 @@
+"""Robustness scenario-grid benchmark: cold sweep vs cached rerun.
+
+Runs the ``robustness`` experiment's full fault x traffic grid (three
+topologies x three fault schedules x three traffic scenarios, fast
+budgets) against a fresh cache directory, then runs it again and asserts
+the rerun is 100% cache hits — the resumability contract the runner
+makes for every task family, exercised here through the newest one
+(fault-carrying ``sat_search``/``sim_point`` payloads).
+
+Results land in ``BENCH_robustness.json`` (schema: benchmarks/conftest):
+cold/warm wall seconds, grid shape, and the rerun's cache counters.
+"""
+
+import tempfile
+import time
+
+from repro.experiments.robustness import DEFAULT_TOPOLOGIES, robustness_grid
+from repro.runner import Runner
+
+
+def _grid(cache_dir: str, out_dir: str):
+    with Runner(parallel=1, cache_dir=cache_dir) as runner:
+        t0 = time.perf_counter()
+        result = robustness_grid(runner=runner, fast=True, out_dir=out_dir)
+        return time.perf_counter() - t0, result, runner.stats
+
+
+def test_robustness_grid_cold_then_cached(once, bench_record):
+    def harness():
+        with tempfile.TemporaryDirectory() as tmp:
+            cold_s, cold, _ = _grid(tmp + "/cache", tmp + "/artifacts")
+            warm_s, warm, stats = _grid(tmp + "/cache", tmp + "/artifacts")
+            return cold_s, cold, warm_s, warm, stats
+
+    cold_s, cold, warm_s, warm, stats = once(harness)
+
+    print(f"\nrobustness grid: {len(cold.cells)} scenario cells over "
+          f"{len(DEFAULT_TOPOLOGIES)} topologies")
+    for name, cell in cold.ranking():
+        print(f"  {name:<18} worst retained {cell.retained:.3f} "
+              f"({cell.fault} x {cell.traffic})")
+    print(f"cold {cold_s:.1f}s | cached rerun {warm_s:.1f}s | {stats.summary()}")
+
+    assert [c.as_dict() for c in warm.cells] == [
+        c.as_dict() for c in cold.cells
+    ], "cached rerun changed the grid's numbers"
+    assert stats.misses == 0, (
+        f"cached rerun recomputed {stats.misses} task(s); "
+        "the scenario grid must be 100% cache hits on an immediate rerun"
+    )
+
+    bench_record(
+        cells=len(cold.cells),
+        topologies=len(DEFAULT_TOPOLOGIES),
+        cold_wall_s=round(cold_s, 3),
+        cached_wall_s=round(warm_s, 3),
+        rerun_hits=stats.hits,
+        rerun_misses=stats.misses,
+    )

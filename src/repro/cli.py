@@ -186,12 +186,29 @@ def cmd_simulate(args) -> int:
     topo = _load_or_named(args.topology, args.routers)
     table = routed_table(topo, args.policy, seed=args.seed, use_cache=False)
     spec = _traffic_spec(args, topo)
+    if args.burst:
+        from .sim import parse_burst
+
+        try:
+            spec = spec.with_burst(parse_burst(args.burst))
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+    faults = None
+    if args.faults:
+        from .faults import parse_faults
+
+        try:
+            faults = parse_faults(args.faults)
+            faults.validate(topo)
+        except ValueError as exc:
+            raise SystemExit(str(exc))
     rates = [args.max_rate * (k + 1) / args.points for k in range(args.points)]
     runner = _make_runner(args)
     curve = runner.curve(
         table, spec, rates,
         link_class=args.link_class or topo.link_class,
         warmup=args.warmup, measure=args.measure, seed=args.seed,
+        faults=faults,
     )
     print(f"{'offered':>8} {'latency(cyc)':>13} {'accepted':>9} {'saturated':>9}")
     for p in curve.points:
@@ -254,6 +271,7 @@ def cmd_explore(args) -> int:
             eval_iters=args.iters,
             out_dir=args.out_dir or None,
             rank_by=args.rank_by,
+            robustness=args.robustness,
         )
     except (ValueError, RuntimeError) as exc:
         # Point validation (bad radix/objective combos) and
@@ -397,6 +415,16 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default: the MC columns)")
     s.add_argument("--hot-fraction", type=float, default=0.5,
                    help="fraction of hotspot traffic aimed at --hotspots")
+    s.add_argument("--burst", default=None, metavar="SPEC",
+                   help="bursty modulation of the traffic pattern: "
+                        "KIND[:p_on,p_off[,on_scale|auto[,off_scale[,seed]]]] "
+                        "with KIND mmpp (per-node on/off chains) or storm "
+                        "(one global chain), e.g. mmpp:0.1,0.3")
+    s.add_argument("--faults", default=None, metavar="SPEC",
+                   help="fault schedule CYCLE:KIND:TARGET[,...] with KIND "
+                        "link_down/link_up (TARGET u-v, full duplex) or "
+                        "router_down/router_up (TARGET router id), e.g. "
+                        "500:link_down:2-7,1500:link_up:2-7")
     s.add_argument("--link-class", default=None)
     s.add_argument("--max-rate", type=float, default=0.4)
     s.add_argument("--points", type=int, default=8)
@@ -451,8 +479,13 @@ def build_parser() -> argparse.ArgumentParser:
     ex.add_argument("--measure", type=int, default=800)
     ex.add_argument("--iters", type=int, default=5,
                     help="saturation binary-search iterations")
-    ex.add_argument("--rank-by", choices=("saturation", "hops", "cut"),
+    ex.add_argument("--rank-by",
+                    choices=("saturation", "hops", "cut", "robustness"),
                     default="saturation")
+    ex.add_argument("--robustness", action="store_true",
+                    help="also measure retained capacity under the "
+                         "most-central link fault per point (implied by "
+                         "--rank-by robustness)")
     ex.add_argument("--out-dir", default="explore-artifacts", metavar="PATH",
                     help="per-point artifact directory ('' disables)")
     _add_runner_flags(ex)

@@ -429,6 +429,16 @@ def _run_report(runner, fast, **kw):
     return generate_report(fast=fast, runner=runner, **kw)
 
 
+def _run_robustness(runner, fast, **kw):
+    from .robustness import robustness_grid
+
+    return robustness_grid(runner=runner, fast=fast, **kw)
+
+
+def _summarize_robustness(res):
+    return res.format_table()
+
+
 EXPERIMENTS: Dict[str, ExperimentSpec] = {
     spec.name: spec
     for spec in (
@@ -476,6 +486,11 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
         ExperimentSpec(
             "fig11", "48-router scalability saturation search",
             _run_fig11, _summarize_fig11,
+        ),
+        ExperimentSpec(
+            "robustness",
+            "fault x traffic scenario grid: worst-case degradation ranking",
+            _run_robustness, _summarize_robustness,
         ),
         ExperimentSpec(
             "report", "full generated experiment report (EXPERIMENTS.md body)",

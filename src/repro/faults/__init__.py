@@ -1,0 +1,24 @@
+"""Fault injection: declarative schedules, survivor re-routing, timelines."""
+
+from .reroute import survivor_table
+from .schedule import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultSchedule,
+    central_link_faults,
+    central_router_fault,
+    parse_faults,
+)
+from .timeline import FaultEpoch, FaultTimeline
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultSchedule",
+    "FaultEpoch",
+    "FaultTimeline",
+    "central_link_faults",
+    "central_router_fault",
+    "parse_faults",
+    "survivor_table",
+]

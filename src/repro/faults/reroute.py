@@ -1,0 +1,86 @@
+"""Survivor re-routing: a deadlock-free table for the degraded network.
+
+Given a routed topology and the current dead link/router sets, build a
+fresh :class:`~repro.routing.tables.RoutingTable` over the *surviving*
+fabric:
+
+* routes exist exactly for ordered pairs of live routers that remain
+  mutually reachable over live links — unreachable flows are simply
+  absent, and the engines count their traffic as lost;
+* paths are deterministic BFS shortest paths (ascending-neighbor
+  expansion, so the tie-break is the smallest-index predecessor): both
+  engines, every worker process, and every cache rerun derive the same
+  table;
+* VC layers are re-assigned per epoch with the standard acyclic-CDG
+  procedure (:func:`~repro.routing.vc_alloc.assign_vcs`), so the
+  degraded network is deadlock-free by the same argument as the
+  pristine one.
+
+The table is built on the *original* topology object: ``next_hop`` and
+``flow_vc`` are pure node-id maps, so the channel-id space of a fault
+epoch's :class:`~repro.sim.fastnet.CompiledNetwork` lines up with the
+pristine one — the fast engine swaps tables without renumbering any
+queue state.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, List, Tuple
+
+from ..routing.paths import Path, PathSet
+from ..routing.tables import RoutingTable, build_routing_table
+from ..routing.vc_alloc import assign_vcs
+
+
+def survivor_table(
+    table: RoutingTable,
+    dead_links: FrozenSet[Tuple[int, int]],
+    dead_routers: FrozenSet[int],
+    seed: int = 0,
+    max_vcs: int = None,
+) -> RoutingTable:
+    """Re-route the live portion of ``table``'s topology."""
+    topo = table.topology
+    n = topo.n
+    adj: List[List[int]] = [[] for _ in range(n)]
+    for (u, v) in topo.directed_links:  # row-major sorted => ascending
+        if u in dead_routers or v in dead_routers or (u, v) in dead_links:
+            continue
+        adj[u].append(v)
+
+    live = [r for r in range(n) if r not in dead_routers]
+    paths: Dict[Tuple[int, int], List[Path]] = {}
+    for s in live:
+        parent = [-1] * n
+        dist = [-1] * n
+        dist[s] = 0
+        dq = deque([s])
+        while dq:
+            u = dq.popleft()
+            du = dist[u]
+            for v in adj[u]:
+                if dist[v] < 0:
+                    dist[v] = du + 1
+                    parent[v] = u
+                    dq.append(v)
+        for d in live:
+            if d == s or dist[d] < 0:
+                continue
+            path = [d]
+            while path[-1] != s:
+                path.append(parent[path[-1]])
+            path.reverse()
+            paths[(s, d)] = [tuple(path)]
+
+    if not paths:
+        # Nothing survives (or nothing is mutually reachable): an empty
+        # table with the base VC count — every flow counts as lost.
+        return RoutingTable(
+            topology=topo, next_hop={}, flow_vc={}, num_vcs=table.num_vcs
+        )
+    if max_vcs is None:
+        max_vcs = max(8, table.num_vcs)
+    routes = PathSet(topo, paths)
+    vca = assign_vcs(routes, max_vcs=max_vcs, seed=seed)
+    return build_routing_table(routes, vca)

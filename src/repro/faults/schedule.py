@@ -1,0 +1,224 @@
+"""Declarative fault schedules: link/router failures and recoveries.
+
+A :class:`FaultSchedule` is a sorted tuple of :class:`FaultEvent`\\ s,
+each "at cycle ``T``, this directed link (or router) goes down / comes
+back up".  Events at cycle ``T`` take effect at the *start* of cycle
+``T``, before that cycle's generation — both engines share this contract
+(see ``docs/ARCHITECTURE.md``, "Robustness scenarios").
+
+Schedules are pure data: they serialize canonically (``as_dict`` /
+``from_dict``) so they can ride inside runner task payloads and key the
+result cache, and :meth:`key` gives a hashable identity for in-process
+memos (the per-table :class:`~repro.faults.timeline.FaultTimeline`).
+
+Links are directed, matching :class:`~repro.topology.Topology`; the
+convenience constructors and the CLI parser treat a link target as a
+full-duplex resource and emit both directions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Iterable, List, Sequence, Tuple
+
+FAULT_KINDS = ("link_down", "link_up", "router_down", "router_up")
+
+#: Cumulative network state at one fault epoch:
+#: (start_cycle, dead directed links, dead routers).
+EpochState = Tuple[int, FrozenSet[Tuple[int, int]], FrozenSet[int]]
+
+
+@dataclass(frozen=True, order=True)
+class FaultEvent:
+    """One state change: at ``cycle``, ``target`` changes to ``kind``.
+
+    ``target`` is ``(u, v)`` for link events and ``(r,)`` for router
+    events.
+    """
+
+    cycle: int
+    kind: str
+    target: Tuple[int, ...]
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}: expected one of {FAULT_KINDS}"
+            )
+        if self.cycle < 0:
+            raise ValueError(f"fault cycle must be >= 0, got {self.cycle}")
+        want = 2 if self.kind.startswith("link") else 1
+        if len(self.target) != want:
+            raise ValueError(
+                f"{self.kind} target must have {want} element(s), "
+                f"got {self.target!r}"
+            )
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """A canonically-sorted, immutable sequence of fault events."""
+
+    events: Tuple[FaultEvent, ...] = ()
+
+    def __post_init__(self):
+        object.__setattr__(self, "events", tuple(sorted(self.events)))
+
+    # -- constructors --------------------------------------------------------
+    @classmethod
+    def of(cls, events: Iterable[FaultEvent]) -> "FaultSchedule":
+        return cls(events=tuple(events))
+
+    @classmethod
+    def link_outage(
+        cls,
+        links: Sequence[Tuple[int, int]],
+        down_cycle: int = 0,
+        up_cycle: int = None,
+        duplex: bool = True,
+    ) -> "FaultSchedule":
+        """Links down at ``down_cycle`` (both directions when ``duplex``),
+        optionally recovering at ``up_cycle``."""
+        events: List[FaultEvent] = []
+        for (u, v) in links:
+            dirs = [(u, v), (v, u)] if duplex else [(u, v)]
+            for d in dirs:
+                events.append(FaultEvent(down_cycle, "link_down", d))
+                if up_cycle is not None:
+                    events.append(FaultEvent(up_cycle, "link_up", d))
+        return cls.of(events)
+
+    @classmethod
+    def router_outage(
+        cls, routers: Sequence[int], down_cycle: int = 0, up_cycle: int = None
+    ) -> "FaultSchedule":
+        events: List[FaultEvent] = []
+        for r in routers:
+            events.append(FaultEvent(down_cycle, "router_down", (r,)))
+            if up_cycle is not None:
+                events.append(FaultEvent(up_cycle, "router_up", (r,)))
+        return cls.of(events)
+
+    # -- identity ------------------------------------------------------------
+    @property
+    def is_empty(self) -> bool:
+        return not self.events
+
+    def key(self) -> tuple:
+        return tuple((e.cycle, e.kind, e.target) for e in self.events)
+
+    # -- (de)serialization ---------------------------------------------------
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "events": [
+                [e.cycle, e.kind, list(e.target)] for e in self.events
+            ]
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "FaultSchedule":
+        return cls.of(
+            FaultEvent(int(c), str(k), tuple(int(t) for t in tgt))
+            for c, k, tgt in d.get("events", [])
+        )
+
+    # -- epoch expansion -----------------------------------------------------
+    def states(self) -> List[EpochState]:
+        """Cumulative (start, dead_links, dead_routers) per fault epoch.
+
+        Always begins with an epoch at cycle 0 (pristine unless events
+        fire at cycle 0); subsequent entries appear at each distinct
+        event cycle with the events applied in canonical order.
+        """
+        dead_links: set = set()
+        dead_routers: set = set()
+        out: List[EpochState] = []
+        i = 0
+        events = self.events
+        if not events or events[0].cycle > 0:
+            out.append((0, frozenset(), frozenset()))
+        while i < len(events):
+            cycle = events[i].cycle
+            while i < len(events) and events[i].cycle == cycle:
+                e = events[i]
+                if e.kind == "link_down":
+                    dead_links.add((e.target[0], e.target[1]))
+                elif e.kind == "link_up":
+                    dead_links.discard((e.target[0], e.target[1]))
+                elif e.kind == "router_down":
+                    dead_routers.add(e.target[0])
+                else:  # router_up
+                    dead_routers.discard(e.target[0])
+                i += 1
+            out.append((cycle, frozenset(dead_links), frozenset(dead_routers)))
+        return out
+
+    def validate(self, topology) -> None:
+        """Raise if any event targets a link/router the topology lacks."""
+        n = topology.n
+        for e in self.events:
+            if e.kind.startswith("link"):
+                u, v = e.target
+                if not (0 <= u < n and 0 <= v < n) or not topology.has_link(u, v):
+                    raise ValueError(
+                        f"fault event targets link ({u},{v}) absent from "
+                        f"{topology.name!r}"
+                    )
+            else:
+                (r,) = e.target
+                if not 0 <= r < n:
+                    raise ValueError(
+                        f"fault event targets router {r} out of range for "
+                        f"{topology.name!r} (n={n})"
+                    )
+
+
+def parse_faults(text: str) -> FaultSchedule:
+    """Parse a CLI fault spec: ``CYCLE:KIND:TARGET[,...]``.
+
+    ``TARGET`` is ``u-v`` for link events (expanded to both directions —
+    full-duplex semantics) and a router id for router events.  Example:
+    ``500:link_down:2-7,1500:link_up:2-7,800:router_down:4``.
+    """
+    events: List[FaultEvent] = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        try:
+            cycle_s, kind, target = part.split(":")
+            cycle = int(cycle_s)
+            if kind.startswith("link"):
+                u, v = (int(x) for x in target.split("-"))
+                events.append(FaultEvent(cycle, kind, (u, v)))
+                events.append(FaultEvent(cycle, kind, (v, u)))
+            else:
+                events.append(FaultEvent(cycle, kind, (int(target),)))
+        except ValueError as exc:
+            raise ValueError(f"malformed fault event {part!r}: {exc}") from None
+    return FaultSchedule.of(events)
+
+
+def central_link_faults(topology, k: int = 1, cycle: int = 0) -> FaultSchedule:
+    """The ``k`` most central full-duplex links down permanently.
+
+    Centrality is the endpoint degree sum — the deterministic "worst
+    link" pick used by the robustness experiment; ties break by link
+    index.  Both directions of each chosen link go down.
+    """
+    deg = topology.out_degree() + topology.in_degree()
+    pairs = sorted(
+        {(min(u, v), max(u, v)) for (u, v) in topology.directed_links
+         if topology.has_link(v, u)}
+    )
+    if not pairs:  # fully asymmetric topology: fall back to directed links
+        pairs = sorted(topology.directed_links)
+    ranked = sorted(pairs, key=lambda p: (-(int(deg[p[0]]) + int(deg[p[1]])), p))
+    return FaultSchedule.link_outage(ranked[:k], down_cycle=cycle)
+
+
+def central_router_fault(topology, cycle: int = 0) -> FaultSchedule:
+    """The highest-degree router down permanently (ties break low)."""
+    deg = topology.out_degree() + topology.in_degree()
+    r = int(min(range(topology.n), key=lambda i: (-int(deg[i]), i)))
+    return FaultSchedule.router_outage([r], down_cycle=cycle)

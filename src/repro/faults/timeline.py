@@ -1,0 +1,105 @@
+"""Fault timelines: per-epoch survivor tables and compiled networks.
+
+A :class:`FaultTimeline` expands a (:class:`~repro.routing.tables.
+RoutingTable`, :class:`~repro.faults.schedule.FaultSchedule`) pair into
+the ordered list of :class:`FaultEpoch`\\ s a simulation walks through:
+each epoch owns the survivor routing table for its cumulative dead sets
+and (lazily) its :class:`~repro.sim.fastnet.CompiledNetwork`.
+
+Two invariants make the engines' table swap cheap and bit-exact:
+
+* **constant channel-id space** — every epoch table lives on the
+  original topology object, so link ``k`` is channel ``k`` in every
+  epoch's compile;
+* **constant VC count** — all epoch tables (the pristine base included)
+  are padded to the maximum ``num_vcs`` any epoch needs, so per-slot
+  queue state survives swaps index-for-index.  Padding only happens when
+  a schedule is actually present; unused VC layers hold no flows and are
+  observationally inert.
+
+Timelines memoize on the table object (like ``CompiledNetwork.
+for_table``), so the ~8 probes of one saturation search build the epoch
+tables once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import FrozenSet, List, Tuple
+
+from ..routing.tables import RoutingTable
+from .reroute import survivor_table
+from .schedule import FaultSchedule
+
+
+@dataclass
+class FaultEpoch:
+    """One contiguous span of constant network state."""
+
+    start: int
+    table: RoutingTable
+    dead_links: FrozenSet[Tuple[int, int]]
+    dead_routers: FrozenSet[int]
+    #: Dead links as channel ids in the shared (pristine) id space.
+    dead_channels: FrozenSet[int]
+
+    @property
+    def compiled(self):
+        """This epoch's compiled network (memoized on the epoch table)."""
+        from ..sim.fastnet import CompiledNetwork
+
+        return CompiledNetwork.for_table(self.table)
+
+
+class FaultTimeline:
+    """The full epoch sequence for one (table, schedule) pair."""
+
+    def __init__(self, table: RoutingTable, schedule: FaultSchedule, seed: int = 0):
+        topo = table.topology
+        schedule.validate(topo)
+        n = topo.n
+        ch_id = {lk: i for i, lk in enumerate(topo.directed_links)}
+        states = schedule.states()
+
+        tables: List[RoutingTable] = []
+        for (_, dead_links, dead_routers) in states:
+            if not dead_links and not dead_routers:
+                tables.append(table)
+            else:
+                tables.append(
+                    survivor_table(table, dead_links, dead_routers, seed=seed)
+                )
+        vmax = max(t.num_vcs for t in tables)
+        tables = [
+            t if t.num_vcs == vmax else replace(t, num_vcs=vmax)
+            for t in tables
+        ]
+
+        self.table = table
+        self.schedule = schedule
+        self.num_vcs = vmax
+        self.epochs: List[FaultEpoch] = [
+            FaultEpoch(
+                start=start,
+                table=tbl,
+                dead_links=dead_links,
+                dead_routers=dead_routers,
+                dead_channels=frozenset(
+                    ch_id[lk] for lk in dead_links if lk in ch_id
+                ),
+            )
+            for (start, dead_links, dead_routers), tbl in zip(states, tables)
+        ]
+
+    @classmethod
+    def for_table(
+        cls, table: RoutingTable, schedule: FaultSchedule
+    ) -> "FaultTimeline":
+        """The table's timeline for this schedule, built at most once."""
+        memo = table.__dict__.setdefault("_fault_timelines", {})
+        key = schedule.key()
+        cached = memo.get(key)
+        if cached is None:
+            cached = cls(table, schedule)
+            memo[key] = cached
+        return cached

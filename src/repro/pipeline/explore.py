@@ -35,6 +35,7 @@ RANK_KEYS = {
     "saturation": ("saturation_ns", True),
     "hops": ("avg_hops", False),
     "cut": ("sparsest_cut", True),
+    "robustness": ("robustness", True),
 }
 
 
@@ -61,6 +62,10 @@ class ExploreRow:
     def saturation_ns(self) -> float:
         return self.evaluation.saturation_ns
 
+    @property
+    def robustness(self) -> Optional[float]:
+        return self.evaluation.robustness
+
 
 @dataclass
 class ExploreResult:
@@ -71,25 +76,38 @@ class ExploreResult:
 
     def ranked(self, by: str = "saturation") -> List[ExploreRow]:
         attr, rev = RANK_KEYS[by]
-        return sorted(
-            self.rows,
+
+        def key(r: ExploreRow):
+            value = getattr(r.evaluation, attr)
+            # robustness is None when the sweep didn't evaluate it;
+            # unmeasured points sink to the bottom of the ranking.
+            if value is None:
+                value = float("-inf") if rev else float("inf")
             # avg hops breaks saturation/cut ties toward low latency
-            key=lambda r: (getattr(r.evaluation, attr), -r.avg_hops),
-            reverse=rev,
-        )
+            return (value, -r.avg_hops)
+
+        return sorted(self.rows, key=key, reverse=rev)
 
     def format_table(self, by: str = "saturation") -> str:
+        with_rob = any(r.robustness is not None for r in self.rows)
+        rob_head = f" {'robust':>6}" if with_rob else ""
         lines = [
             f"{'#':>3} {'design point':<34} {'topology':<22} {'hops':>6} "
-            f"{'diam':>4} {'cut':>7} {'sat/ns':>7} {'status':<9}",
-            "-" * 98,
+            f"{'diam':>4} {'cut':>7} {'sat/ns':>7}{rob_head} {'status':<9}",
+            "-" * (98 + (7 if with_rob else 0)),
         ]
         for rank, r in enumerate(self.ranked(by), start=1):
             e = r.evaluation
+            rob = (
+                ""
+                if not with_rob
+                else f" {'-':>6}" if e.robustness is None
+                else f" {e.robustness:>6.3f}"
+            )
             lines.append(
                 f"{rank:>3} {r.point.label():<34} {r.name:<22} "
                 f"{e.avg_hops:>6.2f} {e.diameter:>4} {e.sparsest_cut:>7.4f} "
-                f"{e.saturation_ns:>7.3f} {r.status:<9}"
+                f"{e.saturation_ns:>7.3f}{rob} {r.status:<9}"
             )
         for point, reason in self.skipped:
             lines.append(f"  - skipped {point.label()}: {reason}")
@@ -136,6 +154,7 @@ def _write_artifact(
             "sparsest_cut": e.sparsest_cut,
             "saturation_packets_node_cycle": e.saturation,
             "saturation_packets_node_ns": e.saturation_ns,
+            "robustness": e.robustness,
         },
     }
     tmp = path + ".tmp"
@@ -158,13 +177,20 @@ def explore(
     out_dir: Optional[str] = None,
     engine: Optional[str] = None,
     rank_by: str = "saturation",
+    robustness: bool = False,
 ) -> ExploreResult:
     """Run a design-space sweep end to end and rank the results.
 
-    ``rank_by`` (``saturation``/``hops``/``cut``) orders the written
-    ``ranking*.json`` files and is recorded in them, so on-disk rankings
-    agree with what the caller displayed.
+    ``rank_by`` (``saturation``/``hops``/``cut``/``robustness``) orders
+    the written ``ranking*.json`` files and is recorded in them, so
+    on-disk rankings agree with what the caller displayed.
+
+    ``robustness=True`` (implied by ``rank_by="robustness"``) adds a
+    degraded saturation search per point — the most-central full-duplex
+    link down — and records retained capacity as the ``robustness``
+    metric (see :func:`~repro.pipeline.stages.evaluate_tables`).
     """
+    robustness = robustness or rank_by == "robustness"
     todo: List[DesignPoint] = []
     skipped: List[Tuple[DesignPoint, str]] = []
     for p in points:
@@ -197,6 +223,7 @@ def explore(
         iters=eval_iters,
         runner=runner,
         engine=engine,
+        robustness=robustness,
     )
 
     rows = [
@@ -221,6 +248,7 @@ def explore(
             "eval_measure": eval_measure,
             "eval_iters": eval_iters,
             "engine": engine,
+            "robustness": robustness,
         }
         os.makedirs(out_dir, exist_ok=True)
         for row, table in zip(rows, tables):
@@ -235,6 +263,7 @@ def explore(
                     "avg_hops": r.avg_hops,
                     "sparsest_cut": r.sparsest_cut,
                     "saturation_ns": r.saturation_ns,
+                    "robustness": r.robustness,
                 }
                 for r in result.ranked(rank_by)
             ],

@@ -188,6 +188,10 @@ class PointEvaluation:
     saturation: float
     #: The same, in packets/node/ns at the link class's clock.
     saturation_ns: float
+    #: Degraded/baseline saturation ratio under the canonical fault (the
+    #: most-central full-duplex link down); ``None`` when robustness
+    #: evaluation was not requested.
+    robustness: Optional[float] = None
 
 
 def evaluate_tables(
@@ -199,10 +203,18 @@ def evaluate_tables(
     iters: int = 5,
     runner: Optional[Runner] = None,
     engine: Optional[str] = None,
+    robustness: bool = False,
 ) -> List[PointEvaluation]:
     """Evaluate routed tables: graph metrics locally (cheap, exact for
     n <= 22) plus a uniform-traffic saturation search per table through
-    the cached ``sat_search`` family."""
+    the cached ``sat_search`` family.
+
+    With ``robustness=True`` each table also runs a degraded saturation
+    search under its canonical fault — the most-central full-duplex link
+    down from cycle 0 — batched into the same ``sat_search`` fan-out;
+    the evaluation's ``robustness`` is the degraded/baseline ratio
+    (retained capacity, higher is better).
+    """
     from ..topology import (
         CLASS_CLOCK_GHZ,
         average_hops,
@@ -224,10 +236,23 @@ def evaluate_tables(
             )
             for t in tables
         ]
-        saturations = r.saturations(jobs)
+        if robustness:
+            from ..faults import central_link_faults
+
+            jobs = jobs + [
+                replace(
+                    j,
+                    name=f"{j.name}/faulted",
+                    faults=central_link_faults(j.table.topology, 1),
+                )
+                for j in jobs
+            ]
+        results = r.saturations(jobs)
+    saturations = results[: len(tables)]
+    degraded = results[len(tables):] if robustness else [None] * len(tables)
 
     out: List[PointEvaluation] = []
-    for table, cls, sat in zip(tables, link_classes, saturations):
+    for table, cls, sat, deg in zip(tables, link_classes, saturations, degraded):
         topo = table.topology
         clock = CLASS_CLOCK_GHZ.get(cls or topo.link_class or "", 1.0)
         out.append(PointEvaluation(
@@ -236,5 +261,9 @@ def evaluate_tables(
             sparsest_cut=sparsest_cut(topo, exact=topo.n <= 22).value,
             saturation=float(sat),
             saturation_ns=float(sat) * clock,
+            robustness=(
+                None if deg is None
+                else (float(deg) / float(sat) if sat > 0 else 0.0)
+            ),
         ))
     return out

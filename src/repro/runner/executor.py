@@ -77,6 +77,19 @@ class ParallelExecutor:
             self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
 
+    def effective_workers(self) -> int:
+        """The worker count a parallel map actually fans out to.
+
+        1 when configured serial — or when the platform refused to spawn
+        a pool and maps silently degraded to the inline path.  Benchmarks
+        that assert parallel speedups must check this and fail loudly
+        rather than record a degenerate single-process baseline as a
+        result.
+        """
+        if self.workers <= 1:
+            return 1
+        return self.workers if self._get_pool() is not None else 1
+
     def map(
         self,
         fn: Callable[[Any], Any],

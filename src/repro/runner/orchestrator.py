@@ -51,6 +51,8 @@ class CurveJob:
     sim_kw: Dict[str, Any] = field(default_factory=dict)
     #: Simulation engine ("fast"/"reference"); None = the runner's default.
     engine: Optional[str] = None
+    #: Optional :class:`~repro.faults.FaultSchedule` applied to every point.
+    faults: Any = None
 
 
 @dataclass
@@ -69,6 +71,8 @@ class SaturationJob:
     sim_kw: Dict[str, Any] = field(default_factory=dict)
     #: Simulation engine ("fast"/"reference"); None = the runner's default.
     engine: Optional[str] = None
+    #: Optional :class:`~repro.faults.FaultSchedule` applied to every probe.
+    faults: Any = None
 
 
 @dataclass
@@ -135,6 +139,11 @@ class Runner:
     @property
     def parallel(self) -> int:
         return self.executor.workers
+
+    @property
+    def effective_parallel(self) -> int:
+        """Workers parallel maps actually reach (1 if the pool is broken)."""
+        return self.executor.effective_workers()
 
     @property
     def stats(self) -> CacheStats:
@@ -219,6 +228,7 @@ class Runner:
                         job.table, job.traffic, rate,
                         job.warmup, job.measure, job.seed, job.sim_kw,
                         engine=job.engine or self.engine,
+                        faults=job.faults,
                     )))
             stats_list = self.run_tasks("sim_point", [p for _, p in wave])
             for (i, _), stats in zip(wave, stats_list):
@@ -259,6 +269,7 @@ class Runner:
         seed: int = 0,
         stop_after_saturation: bool = True,
         engine: Optional[str] = None,
+        faults=None,
         **sim_kw,
     ) -> SweepResult:
         """Parallel, cached drop-in for
@@ -275,6 +286,7 @@ class Runner:
             stop_after_saturation=stop_after_saturation,
             sim_kw=dict(sim_kw),
             engine=engine,
+            faults=faults,
         )
         return self.curves([job])[0]
 
@@ -285,6 +297,7 @@ class Runner:
                 j.table, j.traffic, j.lo, j.hi, j.iters,
                 j.warmup, j.measure, j.seed, j.sim_kw,
                 engine=j.engine or self.engine,
+                faults=j.faults,
             )
             for j in jobs
         ]

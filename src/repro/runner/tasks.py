@@ -59,8 +59,13 @@ from ..topology import Layout, Topology
 #: design-space pipeline's ``generation``, ``routing``, and
 #: ``gap_curve`` task families join (topology generation, table
 #: compilation, and solver-progress recording become cached, fanned-out
-#: work units); existing simulation results are unchanged.
-TASK_VERSION = 5
+#: work units); existing simulation results are unchanged.  v6:
+#: robustness scenarios — sim-point/sat-search payloads carry an optional
+#: fault schedule, traffic specs an optional burst modulation, and
+#: :class:`~repro.sim.network.SimStats` a ``lost_packets`` field.
+#: Fault-free stationary results are unchanged (the differential suite
+#: pins them), but the payload surface grew, so provenance bumps.
+TASK_VERSION = 6
 
 
 # ---------------------------------------------------------------------------
@@ -77,6 +82,18 @@ class TrafficSpec:
     cols: int = 0
     hotspots: Tuple[int, ...] = ()
     hot_fraction: float = 0.5
+    #: Optional burst modulation as a :meth:`BurstSpec.key` tuple
+    #: (hashable, canonical — the dataclass stays frozen and cache keys
+    #: stay stable).
+    burst: Optional[Tuple] = None
+
+    def with_burst(self, spec) -> "TrafficSpec":
+        """This spec modulated by a :class:`~repro.sim.burst.BurstSpec`."""
+        import dataclasses
+
+        return dataclasses.replace(
+            self, burst=None if spec is None else spec.key()
+        )
 
     # -- constructors --------------------------------------------------------
     @classmethod
@@ -127,10 +144,19 @@ class TrafficSpec:
             "cols": self.cols,
             "hotspots": list(self.hotspots),
             "hot_fraction": self.hot_fraction,
+            "burst": None if self.burst is None else list(self.burst),
         }
 
     @classmethod
     def from_dict(cls, d: Dict[str, Any]) -> "TrafficSpec":
+        burst = d.get("burst")
+        if burst is not None:
+            kind, p_on, p_off, on_scale, off_scale, seed = burst
+            burst = (
+                str(kind), float(p_on), float(p_off),
+                None if on_scale is None else float(on_scale),
+                float(off_scale), int(seed),
+            )
         return cls(
             kind=d["kind"],
             n_nodes=int(d.get("n_nodes", 0)),
@@ -138,10 +164,23 @@ class TrafficSpec:
             cols=int(d.get("cols", 0)),
             hotspots=tuple(int(h) for h in d.get("hotspots", ())),
             hot_fraction=float(d.get("hot_fraction", 0.5)),
+            burst=burst,
         )
 
     def build(self) -> TrafficPattern:
         """Materialize the live pattern (closures and all)."""
+        pattern = self._build_base()
+        if self.burst is not None:
+            from ..sim.burst import BurstSpec
+
+            kind, p_on, p_off, on_scale, off_scale, seed = self.burst
+            pattern = pattern.with_burst(BurstSpec(
+                kind=kind, p_on=p_on, p_off=p_off,
+                on_scale=on_scale, off_scale=off_scale, seed=seed,
+            ))
+        return pattern
+
+    def _build_base(self) -> TrafficPattern:
         if self.kind == "uniform":
             return uniform_random(self.n_nodes)
         if self.kind == "shuffle":
@@ -245,6 +284,7 @@ def stats_from_dict(doc: Dict[str, Any]) -> SimStats:
         latency_sum=float(doc["latency_sum"]),
         latency_count=int(doc["latency_count"]),
         n_nodes=int(doc["n_nodes"]),
+        lost_packets=int(doc.get("lost_packets", 0)),
     )
 
 
@@ -261,6 +301,7 @@ def sim_point_payload(
     seed: int,
     sim_kw: Optional[Dict[str, Any]] = None,
     engine: str = DEFAULT_ENGINE,
+    faults=None,
 ) -> Dict[str, Any]:
     return {
         "task": "sim_point",
@@ -273,7 +314,17 @@ def sim_point_payload(
         "seed": int(seed),
         "sim_kw": dict(sim_kw or {}),
         "engine": str(engine),
+        "faults": None if faults is None else faults.as_dict(),
     }
+
+
+def _decode_faults(payload: Dict[str, Any]):
+    doc = payload.get("faults")
+    if doc is None:
+        return None
+    from ..faults import FaultSchedule
+
+    return FaultSchedule.from_dict(doc)
 
 
 def sim_point_task(payload: Dict[str, Any]) -> Dict[str, Any]:
@@ -288,6 +339,7 @@ def sim_point_task(payload: Dict[str, Any]) -> Dict[str, Any]:
         measure=payload["measure"],
         seed=payload["seed"],
         engine=payload.get("engine", DEFAULT_ENGINE),
+        faults=_decode_faults(payload),
         **payload.get("sim_kw", {}),
     )
     return stats_to_dict(stats)
@@ -304,6 +356,7 @@ def sat_search_payload(
     seed: int,
     sim_kw: Optional[Dict[str, Any]] = None,
     engine: str = DEFAULT_ENGINE,
+    faults=None,
 ) -> Dict[str, Any]:
     return {
         "task": "sat_search",
@@ -318,6 +371,7 @@ def sat_search_payload(
         "seed": int(seed),
         "sim_kw": dict(sim_kw or {}),
         "engine": str(engine),
+        "faults": None if faults is None else faults.as_dict(),
     }
 
 
@@ -336,6 +390,7 @@ def sat_search_task(payload: Dict[str, Any]) -> float:
             measure=payload["measure"],
             seed=payload["seed"],
             engine=payload.get("engine", DEFAULT_ENGINE),
+            faults=_decode_faults(payload),
             **payload.get("sim_kw", {}),
         )
     )

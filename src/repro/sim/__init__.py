@@ -35,6 +35,7 @@ from .sweep import (
     latency_throughput_curve,
     run_point,
 )
+from .burst import BURST_KINDS, BurstSpec, BurstState, parse_burst
 from .trace import TRACE_CHUNK_CYCLES, TraceStream
 from .traffic import (
     DestSpec,
@@ -66,6 +67,10 @@ __all__ = [
     "DATA_FLITS",
     "MEAN_FLITS_PER_PACKET",
     "TrafficPattern",
+    "BURST_KINDS",
+    "BurstSpec",
+    "BurstState",
+    "parse_burst",
     "uniform_random",
     "memory_traffic",
     "shuffle_pattern",

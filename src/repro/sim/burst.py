@@ -1,0 +1,199 @@
+"""Markov-modulated bursty traffic: on/off gates over any pattern.
+
+A :class:`BurstSpec` attaches a two-state Markov chain (per node, or one
+global chain) to a :class:`~repro.sim.traffic.TrafficPattern`.  Each
+cycle every node is ON or OFF; the node's *effective* injection rate is
+``rate * on_scale`` while ON and ``rate * off_scale`` while OFF.  By
+default ``on_scale`` is normalized so the stationary mean effective rate
+equals the nominal rate — a bursty pattern and its stationary twin are
+directly comparable on the same sweep axis.
+
+Two chain kinds:
+
+* ``"mmpp"`` — independent per-node chains (the classic Markov-modulated
+  on/off source): nodes burst out of phase, stressing transient queue
+  build-up;
+* ``"storm"`` — one global chain shared by every node: all sources surge
+  together (combine with a hotspot pattern for an incast storm).
+
+The gate draws come from a *dedicated* RNG seeded by the spec — never
+from the simulation's packet-draw stream.  Only the per-(cycle, node)
+Bernoulli threshold changes; the reference engine, the fast engine's
+inline path, and :class:`~repro.sim.trace.TraceStream` all consume the
+identical gate sequence, so bursty runs stay bit-identical across
+engines exactly like stationary ones.
+
+All chains start OFF at cycle 0, so a short run's realized mean sits
+slightly below nominal; the stationary mean matches (tests pin it over
+long horizons).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+BURST_KINDS = ("mmpp", "storm")
+
+
+@dataclass(frozen=True)
+class BurstSpec:
+    """Pure-data description of an on/off modulation chain.
+
+    ``p_on`` is the per-cycle OFF->ON transition probability, ``p_off``
+    the ON->OFF one.  ``on_scale=None`` (the default) resolves to the
+    mean-preserving value ``(1 - (1 - duty) * off_scale) / duty`` where
+    ``duty = p_on / (p_on + p_off)`` is the stationary ON fraction.
+    """
+
+    kind: str
+    p_on: float
+    p_off: float
+    on_scale: Optional[float] = None
+    off_scale: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.kind not in BURST_KINDS:
+            raise ValueError(
+                f"unknown burst kind {self.kind!r}: expected one of {BURST_KINDS}"
+            )
+        if not 0.0 < self.p_on <= 1.0 or not 0.0 < self.p_off <= 1.0:
+            raise ValueError(
+                f"burst transition probabilities must be in (0, 1], got "
+                f"p_on={self.p_on!r} p_off={self.p_off!r}"
+            )
+        if self.off_scale < 0.0:
+            raise ValueError(f"off_scale must be >= 0, got {self.off_scale!r}")
+        if self.on_scale is not None and self.on_scale < 0.0:
+            raise ValueError(f"on_scale must be >= 0, got {self.on_scale!r}")
+
+    @property
+    def duty_cycle(self) -> float:
+        """Stationary ON probability of the chain."""
+        return self.p_on / (self.p_on + self.p_off)
+
+    @property
+    def resolved_on_scale(self) -> float:
+        if self.on_scale is not None:
+            return float(self.on_scale)
+        duty = self.duty_cycle
+        return (1.0 - (1.0 - duty) * self.off_scale) / duty
+
+    @property
+    def max_scale(self) -> float:
+        return max(self.resolved_on_scale, self.off_scale)
+
+    # -- (de)serialization ---------------------------------------------------
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "p_on": self.p_on,
+            "p_off": self.p_off,
+            "on_scale": self.on_scale,
+            "off_scale": self.off_scale,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "BurstSpec":
+        return cls(
+            kind=str(d["kind"]),
+            p_on=float(d["p_on"]),
+            p_off=float(d["p_off"]),
+            on_scale=None if d.get("on_scale") is None else float(d["on_scale"]),
+            off_scale=float(d.get("off_scale", 0.0)),
+            seed=int(d.get("seed", 0)),
+        )
+
+    def key(self) -> tuple:
+        """Canonical hashable identity (memo keys, TrafficSpec fields)."""
+        return (
+            self.kind, self.p_on, self.p_off,
+            self.on_scale, self.off_scale, self.seed,
+        )
+
+    def state(self, n_nodes: int) -> "BurstState":
+        return BurstState(self, n_nodes)
+
+
+class BurstState:
+    """Deterministic replayable gate sequence for one (spec, n) pair.
+
+    ``row(t)`` is the per-node rate-scale vector at cycle ``t``.  Rows
+    are generated forward from cycle 0 and cached, so any consumer — the
+    reference engine stepping cycle by cycle, a trace chunking thousands
+    ahead, or a rebuilt trace resuming mid-run — reads the identical
+    sequence from its own instance.
+    """
+
+    def __init__(self, spec: BurstSpec, n_nodes: int):
+        self.spec = spec
+        self.n = int(n_nodes)
+        self.rng = np.random.default_rng(spec.seed)
+        self._on_scale = spec.resolved_on_scale
+        self._off_scale = spec.off_scale
+        self._rows: List[np.ndarray] = []
+        if spec.kind == "storm":
+            self._on = False  # one global chain
+        else:
+            self._on = np.zeros(self.n, dtype=bool)  # per-node chains
+
+    def _extend_to(self, t: int) -> None:
+        spec = self.spec
+        rng = self.rng
+        rows = self._rows
+        while len(rows) <= t:
+            if spec.kind == "storm":
+                scale = self._on_scale if self._on else self._off_scale
+                rows.append(np.full(self.n, scale))
+                u = rng.random()
+                self._on = (u >= spec.p_off) if self._on else (u < spec.p_on)
+            else:
+                rows.append(
+                    np.where(self._on, self._on_scale, self._off_scale)
+                )
+                u = rng.random(self.n)
+                self._on = np.where(self._on, u >= spec.p_off, u < spec.p_on)
+
+    def row(self, t: int) -> np.ndarray:
+        """Per-node rate scales at cycle ``t`` (read-only)."""
+        if len(self._rows) <= t:
+            self._extend_to(t)
+        return self._rows[t]
+
+    def rows(self, t0: int, t1: int) -> np.ndarray:
+        """The ``(t1 - t0, n)`` scale matrix for cycles ``[t0, t1)``."""
+        if t1 <= t0:
+            return np.empty((0, self.n))
+        self._extend_to(t1 - 1)
+        return np.stack(self._rows[t0:t1])
+
+
+def parse_burst(text: str) -> BurstSpec:
+    """Parse a CLI burst spec: ``KIND[:p_on,p_off[,on_scale[,off_scale[,seed]]]]``.
+
+    ``on_scale`` accepts ``auto`` for the mean-preserving default.
+    Examples: ``mmpp``, ``storm:0.1,0.3``, ``mmpp:0.2,0.2,2.5,0.1``.
+    """
+    kind, _, rest = text.partition(":")
+    kind = kind.strip()
+    fields = [f.strip() for f in rest.split(",")] if rest else []
+    try:
+        p_on = float(fields[0]) if len(fields) > 0 else 0.2
+        p_off = float(fields[1]) if len(fields) > 1 else 0.2
+        on_scale = (
+            None
+            if len(fields) < 3 or fields[2] in ("", "auto")
+            else float(fields[2])
+        )
+        off_scale = float(fields[3]) if len(fields) > 3 else 0.0
+        seed = int(fields[4]) if len(fields) > 4 else 0
+    except (ValueError, IndexError) as exc:
+        raise ValueError(f"malformed burst spec {text!r}: {exc}") from None
+    return BurstSpec(
+        kind=kind, p_on=p_on, p_off=p_off,
+        on_scale=on_scale, off_scale=off_scale, seed=seed,
+    )

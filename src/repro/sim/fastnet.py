@@ -101,6 +101,7 @@ DEFAULT_ENGINE = "fast"
 
 _NEVER = 1 << 60  # sentinel wake time: no pending timer found yet
 _NO_KEY = -2  # sentinel: no ready request collected yet this scan
+_LOST = -3  # event key: flow unroutable in the current fault epoch
 
 
 def resolve_engine(engine: str):
@@ -196,6 +197,17 @@ class CompiledNetwork:
         self.inj_key_np = np.array(inj_key, dtype=np.int64)
         self.vc_of_np = np.array(vc_of, dtype=np.int64)
 
+        # Flow liveness: True iff the table can route (src, dst).
+        # Self-traffic always delivers.  Survivor tables of a fault epoch
+        # omit unreachable flows; the engines count their traffic as lost.
+        flow_ok = [False] * (n * n)
+        for src in range(n):
+            flow_ok[src * n + src] = True
+        for (src, dst) in table.flow_vc:
+            flow_ok[src * n + dst] = True
+        self.flow_ok = flow_ok
+        self.flow_ok_np = np.array(flow_ok, dtype=bool)
+
     @classmethod
     def for_table(cls, table: RoutingTable) -> "CompiledNetwork":
         """The table's compiled form, built at most once per table."""
@@ -238,7 +250,21 @@ class FastNetworkSimulator:
         link_latency: int = LINK_LATENCY,
         extra_hop_latency: int = 0,
         compiled: Optional[CompiledNetwork] = None,
+        faults=None,
     ):
+        # Fault timelines swap the active table at epoch boundaries; the
+        # simulation starts on epoch 0's table (the pristine base, padded
+        # to the timeline's common VC count when a later epoch needs
+        # more layers), whose compile supersedes any caller-shared one.
+        self._timeline = None
+        self._epoch_i = 0
+        self._faulty = faults is not None
+        if faults is not None:
+            from ..faults.timeline import FaultTimeline
+
+            self._timeline = FaultTimeline.for_table(table, faults)
+            table = self._timeline.epochs[0].table
+            compiled = self._timeline.epochs[0].compiled
         self.table = table
         self.topo = table.topology
         self.traffic = traffic
@@ -270,6 +296,7 @@ class FastNetworkSimulator:
         self.slot_vc = compiled.slot_vc
         self.slot_qbase = compiled.slot_qbase
         self.slot_clear = compiled.slot_clear
+        self.flow_ok = compiled.flow_ok
 
         # -- per-run mutable state (cheap: O(slots)) -----------------------
         nq = compiled.num_slots
@@ -325,6 +352,12 @@ class FastNetworkSimulator:
         self.lat_sum = 0.0
         self.lat_count = 0
         self.in_flight = 0
+        self.lost = 0
+        # Burst gates come from the pattern's dedicated chain, never the
+        # packet-draw stream (same contract as the reference engine).
+        self._burst_state = (
+            traffic.burst.state(n) if traffic.burst is not None else None
+        )
 
     # -- trace plumbing --------------------------------------------------------
     def _trace_for(self, lam: float) -> Optional[TraceStream]:
@@ -357,6 +390,10 @@ class FastNetworkSimulator:
         flow = src * self.n + dst
         vc = self.cn.vc_of_np[flow]
         key = self.cn.inj_key_np[flow]
+        if self._faulty:
+            # Flows the current epoch's table cannot route drain as
+            # ``_LOST`` events (counted, never enqueued).
+            key = np.where(self.cn.flow_ok_np[flow], key, _LOST)
         return (
             list(
                 zip(
@@ -451,10 +488,15 @@ class FastNetworkSimulator:
         one = [0]  # reusable single-requester list (fast path)
 
         # measurement accumulators (flushed back on exit)
+        faulty = self._faulty
+        flow_ok = self.flow_ok
+        burst = self._burst_state
+
         measuring = self.measuring
         measure_start = self.measure_start
         pid = self._pid
         offered = self.offered
+        lost = self.lost
         ejected = self.ejected
         ejected_flits = self.ejected_flits
         lat_sum = self.lat_sum
@@ -481,15 +523,21 @@ class FastNetworkSimulator:
                         break
                     ev_i += 1
                     node = ev[1]
+                    key = ev[3]
+                    if key == _LOST:
+                        if measuring:
+                            offered += 1
+                            lost += 1
+                        continue
                     pid += 1
-                    source_q[node].append((ev[2], ev[3], ev[4], ev[5], cycle))
+                    source_q[node].append((ev[2], key, ev[4], ev[5], cycle))
                     pending |= 1 << node
                     in_flight += 1
                     if measuring:
                         offered += 1
             elif lam > 0:
                 draws = rng_random(n).tolist()
-                if whole == 0:
+                if whole == 0 and burst is None:
                     # Sub-unit rates: visit only the Bernoulli winners,
                     # in ascending node order — the same nodes, in the
                     # same order, that the reference loop injects for.
@@ -500,6 +548,13 @@ class FastNetworkSimulator:
                             continue
                         dst = dest(node, rng)
                         size = DATA_FLITS if rng_random() < dfrac else CONTROL_FLITS
+                        if faulty and not flow_ok[node * n + dst]:
+                            # Draws happen regardless (the stream matches
+                            # a pristine run); the packet never exists.
+                            if measuring:
+                                offered += 1
+                                lost += 1
+                            continue
                         pid += 1
                         source_q[node].append(
                             (
@@ -515,8 +570,16 @@ class FastNetworkSimulator:
                         if measuring:
                             offered += 1
                 else:
+                    g = burst.row(cycle) if burst is not None else None
                     for node in range(n):
-                        count = whole + (1 if draws[node] < frac else 0)
+                        if g is None:
+                            w = whole
+                            f = frac
+                        else:
+                            eff = lam * g[node]
+                            w = int(eff)
+                            f = eff - w
+                        count = w + (1 if draws[node] < f else 0)
                         for _ in range(count):
                             dst = dest(node, rng)
                             size = (
@@ -524,6 +587,11 @@ class FastNetworkSimulator:
                                 if rng_random() < dfrac
                                 else CONTROL_FLITS
                             )
+                            if faulty and not flow_ok[node * n + dst]:
+                                if measuring:
+                                    offered += 1
+                                    lost += 1
+                                continue
                             pid += 1
                             source_q[node].append(
                                 (
@@ -811,18 +879,217 @@ class FastNetworkSimulator:
         self.lat_sum = lat_sum
         self.lat_count = lat_count
         self.in_flight = in_flight
+        self.lost = lost
+
+    # -- fault epochs ----------------------------------------------------------
+    def _advance(self, ncycles: int) -> None:
+        """Advance ``ncycles``, applying fault epochs at their start
+        cycles (before that cycle's generation — the reference's
+        ``step`` order), and running the fused loop between them."""
+        tl = self._timeline
+        if tl is None:
+            self._run_cycles(ncycles)
+            return
+        if self._closed_gen is not None:
+            raise RuntimeError(
+                "fault schedules are not supported in closed-loop mode"
+            )
+        eps = tl.epochs
+        end = self.cycle + ncycles
+        while self.cycle < end:
+            i = self._epoch_i
+            while i + 1 < len(eps) and eps[i + 1].start <= self.cycle:
+                i += 1
+                self._apply_epoch(eps[i])
+            self._epoch_i = i
+            nxt = eps[i + 1].start if i + 1 < len(eps) else end
+            self._run_cycles(min(end, nxt) - self.cycle)
+
+    def _apply_epoch(self, epoch) -> None:
+        """Swap in a fault epoch's compiled network.
+
+        Mirrors the reference engine's ``_apply_epoch`` walk exactly:
+        every queued record is visited in canonical order (link channels
+        0..L-1 then injection channels, VCs ascending, FIFO within a
+        VC), dropped if its current router died, it is in transit on a
+        link that died, or its flow became unroutable — and otherwise
+        re-keyed as if freshly injected at its current router (new VC,
+        new request key from the survivor table).  Port/link busy timers
+        survive untouched: hardware serialization outlives a table swap.
+        """
+        cn_new = epoch.compiled
+        dead_routers = epoch.dead_routers
+        dead_channels = epoch.dead_channels
+        n = self.n
+        V = self.num_vcs
+        L = self.num_links
+        cycle = self.cycle
+        vc_cap = self.vc_cap
+        heads = self.heads
+        snooze = self.snooze
+        tail = self.tail
+        masks = self.masks
+        free = self.free
+        ch_dst = self.ch_dst
+        vcs_of = self.vcs_of
+        vc_of_new = cn_new.vc_of
+        inj_key_new = cn_new.inj_key
+        flow_ok_new = cn_new.flow_ok
+        dropped = 0
+
+        for ch in range(L + n):
+            base = ch * V
+            m = masks[base]
+            if not m:
+                continue
+            cur = ch_dst[ch] if ch < L else ch - L
+            ch_dead = cur in dead_routers
+            link_dead = ch in dead_channels
+            per_vc: List[List[PacketRecord]] = [[] for _ in range(V)]
+            for vc in vcs_of[m]:
+                slot = base + vc
+                recs = [heads[slot]]
+                recs.extend(tail[slot])
+                for rec in recs:
+                    ready, _key, size, _src, dst, birth = rec
+                    if (
+                        ch_dead
+                        or (link_dead and ready > cycle)
+                        or (dst != cur and not flow_ok_new[cur * n + dst])
+                    ):
+                        dropped += 1
+                        continue
+                    if dst == cur:
+                        # Key is already -1 (eject here); keep the VC so
+                        # the record keeps its slot.
+                        per_vc[vc].append(
+                            (ready, -1, size, cur, dst, birth)
+                        )
+                    else:
+                        per_vc[vc_of_new[cur * n + dst]].append(
+                            (
+                                ready,
+                                inj_key_new[cur * n + dst],
+                                size,
+                                cur,
+                                dst,
+                                birth,
+                            )
+                        )
+            mask = 0
+            for vc in range(V):
+                slot = base + vc
+                q = per_vc[vc]
+                if q:
+                    mask |= 1 << vc
+                    heads[slot] = q[0]
+                    snooze[slot] = q[0][0]
+                    tail[slot] = deque(q[1:])
+                    free[slot] = vc_cap - sum(r[2] for r in q)
+                else:
+                    heads[slot] = None
+                    snooze[slot] = 0
+                    tail[slot] = deque()
+                    free[slot] = vc_cap
+            masks[base] = mask
+
+        # Source queues: drop dead-node and unroutable backlog, re-key
+        # the rest.
+        pending = 0
+        for node in range(n):
+            sq = self.source_q[node]
+            if not sq:
+                continue
+            if node in dead_routers:
+                dropped += len(sq)
+                sq.clear()
+                continue
+            kept: Deque[Tuple[int, int, int, int, int]] = deque()
+            for (vc, key, size, dst, birth) in sq:
+                if dst != node and not flow_ok_new[node * n + dst]:
+                    dropped += 1
+                    continue
+                if dst == node:
+                    kept.append((vc, key, size, dst, birth))
+                else:
+                    kept.append(
+                        (
+                            vc_of_new[node * n + dst],
+                            inj_key_new[node * n + dst],
+                            size,
+                            dst,
+                            birth,
+                        )
+                    )
+            self.source_q[node] = kept
+            if kept:
+                pending |= 1 << node
+        self.pending = pending
+
+        # Every live router re-scans from scratch under the new tables;
+        # snooze/cwait state tied to old request keys is stale.
+        live_mask = 0
+        for r in range(n):
+            if r not in dead_routers:
+                live_mask |= 1 << r
+        self.cwait = [0] * cn_new.num_slots
+        self.runnable = live_mask
+        self.wake = [0] * n
+        self.wheel.clear()
+        self.pollable = live_mask
+        self.iwheel.clear()
+
+        # Pending trace events were compiled against the old tables;
+        # re-resolve VC / request key / liveness under the new ones.
+        events = self._events
+        ev_i = self._ev_i
+        if ev_i < len(events):
+            fresh: List[EventRecord] = []
+            for (c, node, _vc, _key, size, dst) in events[ev_i:]:
+                flow = node * n + dst
+                if not flow_ok_new[flow]:
+                    fresh.append((c, node, 0, _LOST, size, dst))
+                else:
+                    fresh.append(
+                        (c, node, vc_of_new[flow], inj_key_new[flow], size, dst)
+                    )
+            self._events = fresh
+        else:
+            self._events = []
+        self._ev_i = 0
+
+        self.in_flight -= dropped
+        if self.measuring:
+            self.lost += dropped
+
+        self.cn = cn_new
+        self.table = epoch.table
+        self.nh = cn_new.nh
+        self.vc_of = cn_new.vc_of
+        self.out_id = cn_new.out_id
+        self.inj_key = cn_new.inj_key
+        self.ch_dst = cn_new.ch_dst
+        self.in_bases = cn_new.in_bases
+        self.inj_base = cn_new.inj_base
+        self.vcs_of = cn_new.vcs_of
+        self.slot_src = cn_new.slot_src
+        self.slot_ch = cn_new.slot_ch
+        self.slot_vc = cn_new.slot_vc
+        self.slot_qbase = cn_new.slot_qbase
+        self.slot_clear = cn_new.slot_clear
+        self.flow_ok = cn_new.flow_ok
 
     # -- public stepping API ---------------------------------------------------
     def step(self) -> None:
         """Advance one cycle (generation, injection, arbitration)."""
-        self._run_cycles(1)
+        self._advance(1)
 
     def run(self, warmup: int, measure: int) -> SimStats:
         """Warm up, then measure for ``measure`` cycles."""
-        self._run_cycles(warmup)
+        self._advance(warmup)
         self.measuring = True
         self.measure_start = self.cycle
-        self._run_cycles(measure)
+        self._advance(measure)
         self.measuring = False
         return SimStats(
             cycles=measure,
@@ -832,6 +1099,7 @@ class FastNetworkSimulator:
             latency_sum=self.lat_sum,
             latency_count=self.lat_count,
             n_nodes=self.n,
+            lost_packets=self.lost,
         )
 
 

@@ -53,12 +53,29 @@ class SimStats:
     latency_sum: float
     latency_count: int
     n_nodes: int
+    #: Packets lost during the window: generated for flows the current
+    #: (fault-degraded) table cannot route, or dropped at a fault epoch
+    #: (in transit on a dying link, or stranded by re-routing).  Always
+    #: 0 without a fault schedule.
+    lost_packets: int = 0
 
     @property
     def avg_latency_cycles(self) -> float:
         if self.latency_count == 0:
             return float("nan")
         return self.latency_sum / self.latency_count
+
+    @property
+    def delivered_fraction(self) -> float:
+        """Ejected / offered over the window (1.0 when nothing offered).
+
+        The degraded-delivery metric of fault scenarios.  Warmup-born
+        packets draining through the window can push this slightly above
+        1 near zero load; fault losses pull it below.
+        """
+        if self.offered_packets == 0:
+            return 1.0
+        return self.ejected_packets / self.offered_packets
 
     @property
     def throughput_packets_node_cycle(self) -> float:
@@ -71,6 +88,20 @@ class SimStats:
     @property
     def offered_packets_node_cycle(self) -> float:
         return self.offered_packets / (self.n_nodes * self.cycles)
+
+    @property
+    def deliverable_packets_node_cycle(self) -> float:
+        """Offered load minus fault losses, per node per cycle.
+
+        The acceptance baseline for saturation classification: packets a
+        fault destroyed (unroutable flows, epoch-swap drops) can never be
+        accepted, so counting them against the network would misread
+        fault loss as congestion.  Equals the offered rate when
+        fault-free (``lost_packets`` is 0).
+        """
+        return (self.offered_packets - self.lost_packets) / (
+            self.n_nodes * self.cycles
+        )
 
 
 class NetworkSimulator:
@@ -86,7 +117,19 @@ class NetworkSimulator:
         router_latency: int = ROUTER_LATENCY,
         link_latency: int = LINK_LATENCY,
         extra_hop_latency: int = 0,
+        faults=None,
     ):
+        # Fault mode swaps in the timeline's (possibly VC-padded) base
+        # table before any sizing happens; `faults=None` leaves the
+        # pristine path untouched.
+        self._timeline = None
+        self._epoch_i = 0
+        self._faulty = faults is not None
+        if faults is not None:
+            from ..faults.timeline import FaultTimeline
+
+            self._timeline = FaultTimeline.for_table(table, faults)
+            table = self._timeline.epochs[0].table
         self.table = table
         self.topo = table.topology
         self.traffic = traffic
@@ -135,7 +178,13 @@ class NetworkSimulator:
         self.ejected_flits = 0
         self.lat_sum = 0.0
         self.lat_count = 0
+        self.lost = 0
         self.in_flight = 0
+        # Bursty modulation: a dedicated gate chain scales the per-cycle
+        # Bernoulli threshold; the packet-draw stream is untouched.
+        self._burst = (
+            traffic.burst.state(self.n) if traffic.burst is not None else None
+        )
 
     # -- injection ------------------------------------------------------------
     def _generate(self) -> None:
@@ -143,12 +192,23 @@ class NetworkSimulator:
         if lam <= 0:
             return
         draws = self.rng.random(self.n)
+        gates = self._burst.row(self.cycle) if self._burst is not None else None
+        flow_vc = self.table.flow_vc
         for node in range(self.n):
             # Bernoulli per cycle; rates above 1.0 inject multiple packets.
-            count = int(lam) + (1 if draws[node] < lam - int(lam) else 0)
+            eff = lam if gates is None else lam * gates[node]
+            count = int(eff) + (1 if draws[node] < eff - int(eff) else 0)
             for _ in range(count):
                 dst = self.traffic.destination(node, self.rng)
                 size = self.traffic.packet_size(self.rng)
+                if self._faulty and (node, dst) not in flow_vc:
+                    # The degraded table cannot route this flow: the
+                    # packet is offered (all its draws were made, so the
+                    # RNG stream matches the pristine run) but lost.
+                    if self.measuring:
+                        self.offered += 1
+                        self.lost += 1
+                    continue
                 pkt = Packet(
                     pid=self._pid,
                     src=node,
@@ -250,8 +310,87 @@ class NetworkSimulator:
     def _on_eject(self, pkt: Packet) -> None:
         """Hook for closed-loop extensions (full-system model)."""
 
+    # -- fault epochs ---------------------------------------------------------
+    def _apply_epoch(self, epoch) -> None:
+        """Swap in a fault epoch's table at the start of its cycle.
+
+        The canonical walk (link channels in topology order, then
+        injection channels by router, VCs ascending, FIFO within each)
+        drops packets the new network cannot carry and re-keys the
+        survivors to the flow (current router, dst); both engines
+        implement this identical contract, so stats stay bit-equal.
+        Buffer credits are recomputed from surviving occupancy; port and
+        link timers keep running across the swap.
+        """
+        new_table = epoch.table
+        flow_vc = new_table.flow_vc
+        dead_links = epoch.dead_links
+        dead_routers = epoch.dead_routers
+        cycle = self.cycle
+        V = self.num_vcs
+        dropped = 0
+
+        all_queues = self.channels + [(-1, r) for r in range(self.n)]
+        for ch in all_queues:
+            qs = self.queues[ch]
+            cur = ch[1]  # downstream router (== the router, for injection)
+            link_dead = ch[0] >= 0 and ch in dead_links
+            ch_dead = cur in dead_routers
+            per_vc: List[List[Tuple[int, Packet]]] = [[] for _ in range(V)]
+            for vc in range(V):
+                for ready, pkt in qs[vc]:
+                    if (
+                        ch_dead
+                        or (link_dead and ready > cycle)
+                        or (cur != pkt.dst and (cur, pkt.dst) not in flow_vc)
+                    ):
+                        dropped += 1
+                        continue
+                    pkt.src = cur
+                    if cur != pkt.dst:
+                        pkt.vc = flow_vc[(cur, pkt.dst)]
+                    per_vc[pkt.vc].append((ready, pkt))
+            for vc in range(V):
+                qs[vc] = deque(per_vc[vc])
+
+        for c in all_queues:
+            ff = self.free_flits[c]
+            for vc in range(V):
+                ff[vc] = self.vc_cap - sum(
+                    p.size_flits for _, p in self.queues[c][vc]
+                )
+
+        for node in range(self.n):
+            sq = self.source_q[node]
+            if not sq:
+                continue
+            keep: Deque[Packet] = deque()
+            for pkt in sq:
+                if node in dead_routers or (
+                    node != pkt.dst and (node, pkt.dst) not in flow_vc
+                ):
+                    dropped += 1
+                    continue
+                if node != pkt.dst:
+                    pkt.vc = flow_vc[(node, pkt.dst)]
+                keep.append(pkt)
+            self.source_q[node] = keep
+
+        self.in_flight -= dropped
+        if self.measuring:
+            self.lost += dropped
+        self.table = new_table
+
     # -- main loop ----------------------------------------------------------------
     def step(self) -> None:
+        tl = self._timeline
+        if tl is not None:
+            while (
+                self._epoch_i + 1 < len(tl.epochs)
+                and tl.epochs[self._epoch_i + 1].start <= self.cycle
+            ):
+                self._epoch_i += 1
+                self._apply_epoch(tl.epochs[self._epoch_i])
         self._generate()
         self._inject()
         for u in range(self.n):
@@ -275,4 +414,5 @@ class NetworkSimulator:
             latency_sum=self.lat_sum,
             latency_count=self.lat_count,
             n_nodes=self.n,
+            lost_packets=self.lost,
         )

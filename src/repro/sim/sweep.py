@@ -106,6 +106,7 @@ def run_point(
     seed: int = 0,
     engine: str = DEFAULT_ENGINE,
     compiled: Optional[CompiledNetwork] = None,
+    faults=None,
     **sim_kw,
 ) -> SimStats:
     """One measurement.  ``engine`` picks the simulator implementation
@@ -115,8 +116,12 @@ def run_point(
     ``compiled`` shares a pre-built :class:`CompiledNetwork` across
     measurements (engines that don't consume one ignore it; the fast
     engine also falls back to the per-table memo when it is None).
+    ``faults`` is an optional :class:`~repro.faults.FaultSchedule`; both
+    engines honor it by swapping survivor tables at fault epochs.
     """
     cls = resolve_engine(engine)
+    if faults is not None:
+        sim_kw["faults"] = faults
     if getattr(cls, "supports_compiled", False):
         sim = cls(table, traffic, rate, seed=seed, compiled=compiled, **sim_kw)
     else:
@@ -135,7 +140,9 @@ def classify_point(
     """
     lat = stats.avg_latency_cycles
     accepted = stats.throughput_packets_node_cycle
-    offered = stats.offered_packets_node_cycle
+    # Fault losses can never be accepted; classify against what the
+    # network could actually have delivered (== offered when fault-free).
+    offered = stats.deliverable_packets_node_cycle
     saturated = bool(
         not np.isfinite(lat)
         or (zero_load is not None and lat > SATURATION_LATENCY_FACTOR * zero_load)
@@ -228,6 +235,7 @@ def find_saturation(
     measure: int = 1200,
     seed: int = 0,
     engine: str = DEFAULT_ENGINE,
+    faults=None,
     **sim_kw,
 ) -> float:
     """Binary-search the saturation injection rate (packets/node/cycle).
@@ -246,7 +254,8 @@ def find_saturation(
         if st is None:
             st = run_point(
                 table, traffic, rate, warmup=warmup, measure=measure,
-                seed=seed, engine=engine, compiled=compiled, **sim_kw
+                seed=seed, engine=engine, compiled=compiled, faults=faults,
+                **sim_kw
             )
             probes[rate] = st
         return st
@@ -256,9 +265,9 @@ def find_saturation(
     if not np.isfinite(zero_load):
         return 0.0
     if (
-        base.offered_packets_node_cycle > 0
+        base.deliverable_packets_node_cycle > 0
         and base.throughput_packets_node_cycle
-        < ACCEPTANCE_FLOOR * base.offered_packets_node_cycle
+        < ACCEPTANCE_FLOOR * base.deliverable_packets_node_cycle
     ):
         # Even the base probe is saturated: the network cannot accept the
         # lowest offered rate, so the bisection bracket [lo, hi] does not
@@ -272,7 +281,7 @@ def find_saturation(
             not np.isfinite(lat)
             or lat > SATURATION_LATENCY_FACTOR * zero_load
             or st.throughput_packets_node_cycle
-            < ACCEPTANCE_FLOOR * st.offered_packets_node_cycle
+            < ACCEPTANCE_FLOOR * st.deliverable_packets_node_cycle
         )
 
     if not saturated(hi):

@@ -102,8 +102,18 @@ class TraceStream:
         kind = spec.kind
         self._has_int = kind != "table"
         self._extra_dbl = 2 if kind == "hotspot" else 1  # non-Bernoulli doubles/packet
-        self._vec_ok = self.whole == 0 and (
-            not self._has_int or spec.min_int_bound(n_nodes) >= 2
+        # Burst gates come from a dedicated chain (deterministic from
+        # cycle 0), so they never touch this raw-word buffer.
+        self._burst = (
+            traffic.burst.state(n_nodes) if traffic.burst is not None else None
+        )
+        self._vec_ok = (
+            self.whole == 0
+            and (not self._has_int or spec.min_int_bound(n_nodes) >= 2)
+            and (
+                traffic.burst is None
+                or self.rate * traffic.burst.max_scale < 1.0
+            )
         )
         # Scalar-path lookup lists (built lazily on first use).
         self._scalar_tables: Optional[tuple] = None
@@ -146,12 +156,19 @@ class TraceStream:
 
         V = self._buf[self._pos :]
         D = doubles_from_raw(V)
-        W = D < frac
-        P = np.concatenate(([0], np.cumsum(W)))
         avail = V.size
+        burst = self._burst
+        if burst is None:
+            W = D < frac
+            P = np.concatenate(([0], np.cumsum(W)))
+        else:
+            # Per-cycle per-node thresholds; rate * max_scale < 1 is part
+            # of _vec_ok, so the whole part stays zero under modulation.
+            T = burst.rows(self.next_cycle, self.next_cycle + C) * self.rate
 
         # The per-cycle offset walk: data-dependent, but four integer
-        # ops per cycle off the prefix sums.
+        # ops per cycle off the prefix sums (one n-wide compare per cycle
+        # when modulated).
         offs: List[int] = []
         ks: List[int] = []
         hs: List[int] = []
@@ -159,7 +176,10 @@ class TraceStream:
         h = self._cache_has
         cyc = 0
         while cyc < C and pos + worst <= avail:
-            k = int(P[pos + n]) - int(P[pos])
+            if burst is None:
+                k = int(P[pos + n]) - int(P[pos])
+            else:
+                k = int((D[pos : pos + n] < T[cyc]).sum())
             offs.append(pos)
             ks.append(k)
             hs.append(h)
@@ -180,7 +200,8 @@ class TraceStream:
             return end_cycle, empty, empty, empty, empty
 
         # All winners of the chunk, in (cycle, node) order.
-        Wm = W[offs_a[:, None] + np.arange(n)]
+        idx = offs_a[:, None] + np.arange(n)
+        Wm = (D[idx] < T[:cyc]) if burst is not None else W[idx]
         rows, srcs = np.nonzero(Wm)
         cycles = base_cycle + rows
         kstart = np.concatenate(([0], np.cumsum(ks_a)))
@@ -312,6 +333,8 @@ class TraceStream:
         def lem(bound: int) -> int:
             return lemire32_scalar(next32, bound)
 
+        burst = self._burst
+        rate = self.rate
         cycles: List[int] = []
         srcs: List[int] = []
         dsts: List[int] = []
@@ -319,11 +342,19 @@ class TraceStream:
         base_cycle = self.next_cycle
         for c in range(C):
             cycno = base_cycle + c
+            g = burst.row(cycno) if burst is not None else None
             bern = [word(pos + i) for i in range(n)]
             pos += n
             for node in range(n):
-                count = whole + (
-                    1 if (bern[node] >> 11) * DOUBLE_SCALE < frac else 0
+                if g is None:
+                    w = whole
+                    f = frac
+                else:
+                    eff = rate * g[node]
+                    w = int(eff)
+                    f = eff - w
+                count = w + (
+                    1 if (bern[node] >> 11) * DOUBLE_SCALE < f else 0
                 )
                 for _ in range(count):
                     if kind == "table":

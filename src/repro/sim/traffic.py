@@ -33,6 +33,7 @@ from typing import Callable, List, Optional, Sequence
 import numpy as np
 
 from ..topology import Layout
+from .burst import BurstSpec
 from .packet import CONTROL_FLITS, DATA_FLITS
 from .rngstream import (
     doubles_from_raw,
@@ -99,6 +100,18 @@ class TrafficPattern:
     dest_fn: Callable[[int, np.random.Generator], int]
     data_fraction: float = 0.5
     dest_spec: Optional[DestSpec] = None
+    #: Optional on/off modulation (:mod:`repro.sim.burst`).  Gates scale
+    #: the per-cycle injection threshold from a dedicated RNG chain; the
+    #: destination/size draw stream is unchanged, so bursty patterns stay
+    #: bit-identical across engines and through :class:`~repro.sim.trace.
+    #: TraceStream`.
+    burst: Optional[BurstSpec] = None
+
+    def with_burst(self, spec: Optional[BurstSpec]) -> "TrafficPattern":
+        """A copy of this pattern modulated by ``spec``."""
+        import dataclasses
+
+        return dataclasses.replace(self, burst=spec)
 
     def destination(self, src: int, rng: np.random.Generator) -> int:
         return self.dest_fn(src, rng)

@@ -176,6 +176,85 @@ class TestTraceStreamMatchesReference:
         assert got == ref
 
 
+def reference_bursty_stream(pat, n, rate, seed, ncycles):
+    """The reference engine's ``_generate`` under a burst gate: the
+    packet-draw RNG is untouched, an independent ``BurstState`` scales
+    the per-(cycle, node) Bernoulli threshold, and effective rates
+    above 1.0 inject their whole part unconditionally."""
+    gate = pat.burst.state(n)
+    rng = np.random.default_rng(seed)
+    out = []
+    for c in range(ncycles):
+        draws = rng.random(n)
+        g = gate.row(c)
+        for node in range(n):
+            eff = rate * g[node]
+            count = int(eff) + (1 if draws[node] < eff - int(eff) else 0)
+            for _ in range(count):
+                dst = pat.destination(node, rng)
+                size = pat.packet_size(rng)
+                out.append((c, node, dst, size))
+    return out
+
+
+class TestBurstyTraceMatchesReference:
+    MMPP = dict(kind="mmpp", p_on=0.2, p_off=0.2, seed=4)
+    STORM = dict(kind="storm", p_on=0.15, p_off=0.3, seed=9)
+
+    def _spec(self, fields, **over):
+        from repro.sim import BurstSpec
+
+        return BurstSpec(**{**fields, **over})
+
+    @pytest.mark.parametrize("fields", [MMPP, STORM], ids=["mmpp", "storm"])
+    def test_vectorized_path_tiny_chunks(self, fields):
+        """rate * max_scale < 1 keeps the vectorized path eligible; the
+        gate rows must line up with chunk boundaries at stride 7."""
+        pat = uniform_random(20).with_burst(self._spec(fields))
+        stream = TraceStream(pat, 20, 0.2, np.random.default_rng(5))
+        assert stream._vec_ok  # on_scale resolves to <= 2.5 here
+        ref = reference_bursty_stream(pat, 20, 0.2, 5, 150)
+        got = trace_event_stream(pat, 20, 0.2, 5, 150, chunk_cycles=7)
+        assert got == ref
+
+    def test_bursty_hotspot_vectorized(self):
+        pat = hotspot(20, [3, 11], 0.6).with_burst(self._spec(self.STORM))
+        ref = reference_bursty_stream(pat, 20, 0.15, 2, 120)
+        got = trace_event_stream(pat, 20, 0.15, 2, 120, chunk_cycles=13)
+        assert got == ref
+
+    def test_guard_breaks_to_scalar_path(self):
+        """An ON-phase effective rate above 1.0 disqualifies the
+        vectorized path (the whole part would be nonzero); the scalar
+        fallback must still replicate the reference stream, multi-packet
+        cycles included."""
+        spec = self._spec(self.MMPP, on_scale=3.0)
+        pat = uniform_random(20).with_burst(spec)
+        rate = 0.5  # ON phase: eff = 1.5 -> whole part 1
+        stream = TraceStream(pat, 20, rate, np.random.default_rng(6))
+        assert not stream._vec_ok
+        ref = reference_bursty_stream(pat, 20, rate, 6, 100)
+        got = trace_event_stream(pat, 20, rate, 6, 100, chunk_cycles=16)
+        assert got == ref
+        assert any(e[0] == f[0] and e[1] == f[1]
+                   for e, f in zip(ref, ref[1:]))  # multi-packet cycles hit
+
+    def test_forced_scalar_agrees_with_vectorized(self):
+        """Both generation paths consume the identical word stream under
+        modulation, each against its own independent gate chain."""
+        pat = uniform_random(20).with_burst(self._spec(self.MMPP))
+        a = TraceStream(pat, 20, 0.25, np.random.default_rng(3), chunk_cycles=64)
+        b = TraceStream(pat, 20, 0.25, np.random.default_rng(3), chunk_cycles=64)
+        assert a._vec_ok
+        b._vec_ok = False  # force scalar emulation
+        for _ in range(4):
+            ca = a.next_chunk()
+            cb = b.next_chunk()
+            assert ca[0] == cb[0]
+            for xa, xb in zip(ca[1:], cb[1:]):
+                assert np.array_equal(xa, xb)
+
+
 class TestHotspotValidation:
     def test_empty_hotspots_rejected(self):
         with pytest.raises(ValueError, match="at least one router"):
