@@ -54,22 +54,24 @@ POINTS = design_grid(
 
 def _sweep(workers: int):
     with Runner(parallel=workers, no_cache=True) as runner:
+        timings = {}
         t0 = time.perf_counter()
-        results = generate_points(POINTS, runner=runner)
-        return time.perf_counter() - t0, runner.effective_parallel, results
+        results = generate_points(POINTS, runner=runner, timings=timings)
+        wall = time.perf_counter() - t0
+        return wall, runner.effective_parallel, results, timings
 
 
 def test_generation_portfolio_parallel_speedup(once, bench_record, require_parallel):
     workers = default_workers()
 
     def harness():
-        serial_s, _, serial_results = _sweep(1)
-        parallel_s, effective, parallel_results = _sweep(0)
-        return serial_s, parallel_s, effective, serial_results, parallel_results
+        serial_s, _, serial_results, serial_waves = _sweep(1)
+        parallel_s, effective, parallel_results, parallel_waves = _sweep(0)
+        return (serial_s, parallel_s, effective, serial_results,
+                parallel_results, serial_waves, parallel_waves)
 
-    serial_s, parallel_s, effective, serial_results, parallel_results = (
-        once(harness)
-    )
+    (serial_s, parallel_s, effective, serial_results, parallel_results,
+     serial_waves, parallel_waves) = once(harness)
     speedup = serial_s / parallel_s
 
     print(f"\ngeneration portfolio sweep: {len(POINTS)} points "
@@ -87,10 +89,13 @@ def test_generation_portfolio_parallel_speedup(once, bench_record, require_paral
 
     bench_record(
         points=len(POINTS),
+        n_routers=sorted({p.n for p in POINTS}),
         workers=workers,
         effective_workers=effective,
         serial_wall_s=round(serial_s, 3),
         parallel_wall_s=round(parallel_s, 3),
+        serial_wave_s={k: round(v, 3) for k, v in serial_waves.items()},
+        parallel_wave_s={k: round(v, 3) for k, v in parallel_waves.items()},
         speedup=round(speedup, 3),
         floor=SPEEDUP_FLOOR,
     )

@@ -1,0 +1,133 @@
+"""Scale benchmark: sparse representations vs router count.
+
+Two measurements back the sparse-at-scale refactor:
+
+* **Incremental SA APSP** — the same annealing run (identical seed,
+  steps, config) with ``apsp="incremental"`` vs ``apsp="full"`` at
+  n=256.  The two modes share one RNG call sequence and exact integer
+  distances, so the resulting links and objective are asserted
+  *bit-identical*; the floor asserts the incremental mode is >= 3x
+  faster (each move recomputes only the affected rows/columns of the
+  hop matrix instead of all pairs).
+* **Per-layer timings vs n** — graph metrics (sparse multi-source BFS),
+  destination-tree routing into a CSR table, fast-engine compilation
+  from that table, and a short incremental anneal, at n in {64, 256,
+  1024}.  No floor: these rows make scale regressions attributable
+  across PRs.
+
+Results land in ``BENCH_scale.json`` (schema: benchmarks/conftest).
+"""
+
+import time
+
+from repro.core.netsmith import NetSmithConfig
+from repro.core.search import anneal_topology
+from repro.routing.dest_tree import bfs_dest_table
+from repro.sim.fastnet import CompiledNetwork
+from repro.topology import Layout, average_hops, diameter
+
+APSP_SPEEDUP_FLOOR = 3.0
+APSP_GRID = (16, 16)  # n = 256, the floor's contract point
+APSP_STEPS = 150
+
+SCALE_GRIDS = ((8, 8), (16, 16), (32, 32))
+SCALE_SA_STEPS = 30
+
+
+def _anneal(rows, cols, steps, apsp, seed=1):
+    cfg = NetSmithConfig(
+        layout=Layout(rows=rows, cols=cols), link_class="medium", radix=4
+    )
+    t0 = time.perf_counter()
+    result = anneal_topology(
+        cfg, objective="latency", steps=steps, seed=seed, apsp=apsp
+    )
+    return time.perf_counter() - t0, result
+
+
+def test_incremental_apsp_speedup(once, bench_record):
+    rows, cols = APSP_GRID
+
+    def harness():
+        full_s, full = _anneal(rows, cols, APSP_STEPS, "full")
+        inc_s, inc = _anneal(rows, cols, APSP_STEPS, "incremental")
+        return full_s, full, inc_s, inc
+
+    full_s, full, inc_s, inc = once(harness)
+    speedup = full_s / inc_s
+
+    n = rows * cols
+    print(f"\nSA APSP at n={n} ({APSP_STEPS} steps):")
+    print(f"  full        {full_s:7.2f}s  objective {full.objective:.1f}")
+    print(f"  incremental {inc_s:7.2f}s  objective {inc.objective:.1f}")
+    print(f"  speedup {speedup:.2f}x (floor {APSP_SPEEDUP_FLOOR}x)")
+
+    # Bit-identical results: same RNG sequence, exact integer distances.
+    assert inc.objective == full.objective, (
+        f"incremental APSP changed the SA objective: "
+        f"{inc.objective!r} != {full.objective!r}"
+    )
+    assert sorted(inc.topology.directed_links) == sorted(
+        full.topology.directed_links
+    ), "incremental APSP changed the SA search trajectory"
+
+    bench_record(
+        n_routers=n,
+        sa_steps=APSP_STEPS,
+        full_wall_s=round(full_s, 3),
+        incremental_wall_s=round(inc_s, 3),
+        speedup=round(speedup, 3),
+        floor=APSP_SPEEDUP_FLOOR,
+        objective=full.objective,
+    )
+    assert speedup >= APSP_SPEEDUP_FLOOR, (
+        f"incremental SA APSP only {speedup:.2f}x faster than full "
+        f"recompute at n={n} (floor {APSP_SPEEDUP_FLOOR}x)"
+    )
+
+
+def test_scale_timings(once, bench_record):
+    def harness():
+        rows_out = []
+        for rows, cols in SCALE_GRIDS:
+            n = rows * cols
+            sa_s, seed_result = _anneal(rows, cols, SCALE_SA_STEPS, "incremental")
+            topo = seed_result.topology
+
+            t0 = time.perf_counter()
+            hops = average_hops(topo)
+            diam = diameter(topo)
+            metric_s = time.perf_counter() - t0
+
+            t0 = time.perf_counter()
+            table = bfs_dest_table(topo, max_vcs=14)
+            route_s = time.perf_counter() - t0
+
+            t0 = time.perf_counter()
+            CompiledNetwork(table)
+            compile_s = time.perf_counter() - t0
+
+            rows_out.append({
+                "n_routers": n,
+                "sa_steps": SCALE_SA_STEPS,
+                "sa_wall_s": round(sa_s, 3),
+                "metric_wall_s": round(metric_s, 4),
+                "route_wall_s": round(route_s, 3),
+                "compile_wall_s": round(compile_s, 3),
+                "avg_hops": round(hops, 4),
+                "diameter": diam,
+                "num_vcs": table.num_vcs,
+            })
+        return rows_out
+
+    rows_out = once(harness)
+
+    print("\nper-layer wall time vs n (seconds):")
+    print(f"{'n':>6} {'sa(30)':>8} {'metrics':>8} {'route':>8} "
+          f"{'compile':>8} {'vcs':>4}")
+    for r in rows_out:
+        print(f"{r['n_routers']:>6} {r['sa_wall_s']:>8.2f} "
+              f"{r['metric_wall_s']:>8.3f} {r['route_wall_s']:>8.2f} "
+              f"{r['compile_wall_s']:>8.2f} {r['num_vcs']:>4}")
+
+    bench_record(grids=[f"{r}x{c}" for r, c in SCALE_GRIDS], rows=rows_out)

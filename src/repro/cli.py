@@ -236,6 +236,15 @@ def cmd_explore(args) -> int:
     bad = [o for o in objectives if o not in OBJECTIVES]
     if bad:
         raise SystemExit(f"unknown objective(s) {bad}: use {', '.join(OBJECTIVES)}")
+    cluster_rows = cluster_cols = None
+    if args.cluster:
+        try:
+            from .topology import parse_layout
+
+            cl = parse_layout(args.cluster)
+            cluster_rows, cluster_cols = cl.rows, cl.cols
+        except ValueError as exc:
+            raise SystemExit(f"--cluster: {exc}")
     try:
         points = design_grid(
             layouts,
@@ -250,6 +259,8 @@ def cmd_explore(args) -> int:
             max_iterations=args.max_iterations,
             backend=args.backend,
             use_frozen=not args.no_frozen,
+            cluster_rows=cluster_rows,
+            cluster_cols=cluster_cols,
         )
     except ValueError as exc:
         raise SystemExit(str(exc))
@@ -259,6 +270,13 @@ def cmd_explore(args) -> int:
         f"{len(objectives)} objectives x {args.seeds} seed(s), "
         f"strategy={args.strategy})",
         file=sys.stderr,
+    )
+    from .pipeline.stages import SIM_CUTOFF
+
+    sim_cutoff = (
+        0 if args.no_simulate
+        else SIM_CUTOFF if args.sim_cutoff is None
+        else args.sim_cutoff
     )
     runner = _make_runner(args)
     try:
@@ -272,6 +290,7 @@ def cmd_explore(args) -> int:
             out_dir=args.out_dir or None,
             rank_by=args.rank_by,
             robustness=args.robustness,
+            sim_cutoff=sim_cutoff,
         )
     except (ValueError, RuntimeError) as exc:
         # Point validation (bad radix/objective combos) and
@@ -452,11 +471,18 @@ def build_parser() -> argparse.ArgumentParser:
                     metavar="OBJ,...",
                     help="subset of latency,sparsest_cut,shuffle "
                          "(sparsest_cut is skipped above 22 routers)")
-    ex.add_argument("--strategy", choices=("milp", "sa", "portfolio"),
+    ex.add_argument("--strategy",
+                    choices=("milp", "sa", "portfolio", "hierarchical"),
                     default="sa",
                     help="generation strategy; portfolio = SA + exact "
                          "solve with best-wins merge (warm-started from "
-                         "the SA result where --backend can consume it)")
+                         "the SA result where --backend can consume it); "
+                         "hierarchical = exact clusters + annealed "
+                         "stitching, for 256-1024-router grids")
+    ex.add_argument("--cluster", default=None, metavar="RxC",
+                    help="cluster tile shape for --strategy hierarchical "
+                         "(must divide the grid; default: auto divisors "
+                         "near 4 per side)")
     ex.add_argument("--backend", choices=("scipy", "bnb"), default="scipy",
                     help="exact-solve backend: scipy (HiGHS, fast, no "
                          "MIP-start surface) or bnb (in-repo branch-and-"
@@ -474,7 +500,19 @@ def build_parser() -> argparse.ArgumentParser:
     ex.add_argument("--no-frozen", action="store_true",
                     help="ignore the frozen registry even for standard "
                          "configurations")
-    ex.add_argument("--policy", choices=("mclb", "ndbt"), default="mclb")
+    ex.add_argument("--policy", choices=("mclb", "ndbt", "bfs"),
+                    default="mclb",
+                    help="routing policy; bfs = destination-tree routing "
+                         "compiled to sparse CSR tables, the only policy "
+                         "that scales to 256+ routers")
+    ex.add_argument("--sim-cutoff", type=int, default=None, metavar="N",
+                    help="largest router count given a cycle-accurate "
+                         "saturation search; larger points rank on exact "
+                         "graph metrics only (default 128)")
+    ex.add_argument("--no-simulate", action="store_true",
+                    help="skip all saturation searches (rank the whole "
+                         "sweep on exact graph metrics; shorthand for "
+                         "--sim-cutoff 0)")
     ex.add_argument("--warmup", type=int, default=250)
     ex.add_argument("--measure", type=int, default=800)
     ex.add_argument("--iters", type=int, default=5,

@@ -1,0 +1,150 @@
+"""Incremental all-pairs shortest paths for single-link SA moves.
+
+``anneal_topology`` evaluates its exact objective from the all-pairs hop
+matrix; recomputing it from scratch per move is the residual O(n·E) cost
+noted since PR 5 and the wall at 256+ routers.  A move swaps exactly one
+directed link — drop ``(da, db)``, add ``(aa, ab)`` — and the distance
+matrix of the mutated graph can be derived exactly:
+
+* **deletion** ``(da, db)``: a source row ``s`` can only change if some
+  shortest path from ``s`` crossed the deleted edge, which (by subpath
+  optimality) requires ``dist[s, da] + 1 == dist[s, db]``.  Even then,
+  if another in-neighbor ``u`` of ``db`` is equally tight
+  (``dist[s, u] + 1 == dist[s, db]``), every affected path re-routes
+  through ``u`` at unchanged length — a tight in-neighbor is strictly
+  closer than ``db``, so no shortest path to it visits ``db``, hence the
+  detour never uses the deleted edge — and the row is unchanged.  The
+  same argument transposes: a target column ``t`` can only change if
+  ``dist[da, t] == 1 + dist[db, t]`` with no alternative tight
+  *out*-neighbor of ``da``.  Whichever candidate set is smaller is
+  recomputed — affected rows by BFS on the post-delete graph, or
+  affected columns by BFS on its reverse;
+* **insertion** ``(aa, ab)``: a shortest path uses a new edge at most
+  once (no vertex repeats), so the exact update is one vectorized
+  minimum: ``d' = min(d, d[:, aa, None] + 1 + d[ab, None, :])``.
+
+Distances are small exact integers in float64, so every updated entry
+equals the full-recompute value *bitwise*; objectives summed from the
+matrix (same shape, same numpy pairwise reduction) are bit-identical —
+the scale benchmark A/B-asserts it against ``apsp="full"``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import dijkstra, shortest_path
+
+from ..topology.csr import build_csr
+
+
+def full_apsp(adj: np.ndarray) -> np.ndarray:
+    """The dense hop matrix exactly as the full-recompute cost path."""
+    return shortest_path(
+        csr_matrix(adj.astype(np.int8)), method="D", unweighted=True
+    )
+
+
+def _bfs_rows(adj: np.ndarray, rows: np.ndarray, n: int) -> np.ndarray:
+    """Hop distances from ``rows`` sources, via a hand-built CSR graph.
+
+    Skips the COO round-trip and dtype copies of ``csr_matrix(dense)``;
+    unweighted Dijkstra over unit weights returns the exact integer hop
+    counts of the full recompute.
+    """
+    indptr, indices = build_csr(adj)
+    g = csr_matrix(
+        (np.ones(indices.size, dtype=np.float64), indices, indptr),
+        shape=(n, n),
+        copy=False,
+    )
+    return dijkstra(g, unweighted=True, indices=rows)
+
+
+class IncrementalAPSP:
+    """Per-pair hop distances maintained across single-link swaps.
+
+    Usage in a propose/accept loop::
+
+        apsp = IncrementalAPSP(adj)          # adj = current adjacency
+        ...
+        d = apsp.candidate(adj2, (da, db), (aa, ab))  # adj2 = post-swap
+        ...
+        apsp.commit()                        # iff the move was accepted
+
+    ``candidate`` never mutates the committed state; an un-committed
+    candidate is simply overwritten by the next call.
+    """
+
+    def __init__(self, adj: np.ndarray):
+        self.n = adj.shape[0]
+        self.dist = full_apsp(adj)
+        self._cand: np.ndarray = np.empty_like(self.dist)
+        self._outer: np.ndarray = np.empty_like(self.dist)
+        #: affected-row counter for the last candidate (observability:
+        #: the scale benchmark reports how sparse the updates really are).
+        self.last_affected = 0
+
+    def candidate(
+        self,
+        adj_after: np.ndarray,
+        dropped: Tuple[int, int],
+        added: Tuple[int, int],
+    ) -> np.ndarray:
+        """Exact hop matrix of ``adj_after`` (one drop + one add away).
+
+        ``adj_after`` must differ from the committed adjacency by
+        exactly the swap described; it is restored unmodified (the added
+        edge is cleared temporarily to expose the mid-state graph).
+        """
+        da, db = dropped
+        aa, ab = added
+        d = self.dist
+        cand = self._cand
+        np.copyto(cand, d)
+
+        # -- deletion: recompute only the slices whose paths died -------
+        adj_after[aa, ab] = False  # expose the post-delete mid-state
+        try:
+            rows = np.nonzero(
+                np.isfinite(d[:, da]) & (d[:, da] + 1.0 == d[:, db])
+            )[0]
+            if rows.size:
+                alt_in = np.nonzero(adj_after[:, db])[0]
+                if alt_in.size:
+                    rerouted = (
+                        d[np.ix_(rows, alt_in)] + 1.0 == d[rows, db, None]
+                    ).any(axis=1)
+                    rows = rows[~rerouted]
+            cols = np.nonzero(
+                np.isfinite(d[db, :]) & (d[da, :] == d[db, :] + 1.0)
+            )[0]
+            if cols.size:
+                alt_out = np.nonzero(adj_after[da, :])[0]
+                if alt_out.size:
+                    rerouted = (
+                        d[np.ix_(alt_out, cols)] + 1.0 == d[da, cols][None, :]
+                    ).any(axis=0)
+                    cols = cols[~rerouted]
+            # Either slice alone is exact; recompute the cheaper one.
+            if rows.size <= cols.size:
+                if rows.size:
+                    cand[rows] = _bfs_rows(adj_after, rows, self.n)
+                self.last_affected = int(rows.size)
+            else:
+                cand[:, cols] = _bfs_rows(adj_after.T, cols, self.n).T
+                self.last_affected = int(cols.size)
+        finally:
+            adj_after[aa, ab] = True
+
+        # -- insertion: one exact vectorized relaxation -----------------
+        outer = self._outer
+        np.add(cand[:, aa, None] + 1.0, cand[ab, None, :], out=outer)
+        np.minimum(cand, outer, out=cand)
+        return cand
+
+    def commit(self) -> None:
+        """Adopt the last candidate as the committed state."""
+        self.dist, self._cand = self._cand, self.dist

@@ -28,10 +28,9 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
 import numpy as np
-from scipy.sparse import csr_matrix
-from scipy.sparse.csgraph import shortest_path
 
 from ..topology import Layout, Topology, average_hops, sparsest_cut
+from .apsp import IncrementalAPSP, full_apsp
 from .netsmith import GenerationResult, NetSmithConfig
 
 
@@ -93,6 +92,7 @@ def anneal_topology(
     t0: float = 8.0,
     t1: float = 0.02,
     initial: Optional[Topology] = None,
+    apsp: str = "incremental",
 ) -> GenerationResult:
     """Simulated-annealing topology generation (NetSmith-SA).
 
@@ -106,6 +106,15 @@ def anneal_topology(
     so an SA (or portfolio) design point never silently ships a
     bound-violating topology.  Without a bound the cost is exactly the
     historical unconstrained objective.
+
+    ``apsp`` selects how the per-move hop matrix is obtained:
+    ``"incremental"`` (default) maintains it across moves with
+    :class:`~repro.core.apsp.IncrementalAPSP` — only rows whose
+    shortest paths crossed the mutated link are recomputed —
+    ``"full"`` recomputes all pairs per move.  Both produce
+    bit-identical objectives and an identical RNG call sequence, so
+    results never depend on the choice (the scale benchmark asserts
+    it); ``"full"`` is kept as the A/B oracle.
     """
     layout = config.layout
     rng = np.random.default_rng(seed)
@@ -114,6 +123,8 @@ def anneal_topology(
 
     if objective == "sparsest_cut" and layout.n > 22:
         raise ValueError("sparsest-cut objective needs exact cuts (n <= 22)")
+    if apsp not in ("incremental", "full"):
+        raise ValueError(f"unknown apsp mode {apsp!r}")
 
     n = layout.n
 
@@ -124,10 +135,7 @@ def anneal_topology(
     diam_bound = config.diameter_bound
     _DIAM_PENALTY = 1e7
 
-    def cost_of(adj: np.ndarray) -> float:
-        d = shortest_path(
-            csr_matrix(adj.astype(np.int8)), method="D", unweighted=True
-        )
+    def cost_from_dist(d: np.ndarray, adj: np.ndarray) -> float:
         if not np.isfinite(d).all():
             return float("inf")
         penalty = 0.0
@@ -139,6 +147,9 @@ def anneal_topology(
             return h + penalty
         b = sparsest_cut(Topology.from_adjacency(layout, adj), exact=True).value
         return -b * 1e4 + 1e-4 * float(d.sum()) + penalty
+
+    def cost_of(adj: np.ndarray) -> float:
+        return cost_from_dist(full_apsp(adj), adj)
 
     if initial is not None:
         links = sorted(initial.directed_links)
@@ -169,7 +180,11 @@ def anneal_topology(
             in_cur[k] = True
 
     cur = list(links)
-    cur_cost = cost_of(adj)
+    tracker = IncrementalAPSP(adj) if apsp == "incremental" else None
+    cur_cost = (
+        cost_from_dist(tracker.dist, adj) if tracker is not None
+        else cost_of(adj)
+    )
     best, best_cost = list(cur), cur_cost
 
     for step in range(steps):
@@ -193,10 +208,15 @@ def anneal_topology(
         aa, ab = added = allowed[added_k]
         adj[da, db] = False
         adj[aa, ab] = True
-        c = cost_of(adj)
+        if tracker is not None:
+            c = cost_from_dist(tracker.candidate(adj, dropped, added), adj)
+        else:
+            c = cost_of(adj)
         if c < cur_cost or rng.random() < math.exp(
             -(c - cur_cost) / max(temp, 1e-9)
         ):
+            if tracker is not None:
+                tracker.commit()
             cur = cur[:drop_idx] + cur[drop_idx + 1 :] + [added]
             cur_cost = c
             out_deg[da] -= 1

@@ -25,12 +25,14 @@ queue state.
 
 from __future__ import annotations
 
-from collections import deque
 from typing import Dict, FrozenSet, List, Tuple
+
+import numpy as np
 
 from ..routing.paths import Path, PathSet
 from ..routing.tables import RoutingTable, build_routing_table
 from ..routing.vc_alloc import assign_vcs
+from ..topology.csr import bfs_tree, build_csr
 
 
 def survivor_table(
@@ -43,29 +45,29 @@ def survivor_table(
     """Re-route the live portion of ``table``'s topology."""
     topo = table.topology
     n = topo.n
-    adj: List[List[int]] = [[] for _ in range(n)]
-    for (u, v) in topo.directed_links:  # row-major sorted => ascending
-        if u in dead_routers or v in dead_routers or (u, v) in dead_links:
-            continue
-        adj[u].append(v)
+    # Surviving fabric as a CSR graph: mask dead endpoints/links on one
+    # boolean matrix instead of building n Python adjacency lists (the
+    # old per-source dict/list BFS held O(n) list objects live per
+    # source at large n).  build_csr emits ascending neighbor ids per
+    # row and bfs_tree expands FIFO, so the parent of every vertex is
+    # its smallest-index earliest-frontier predecessor — the exact
+    # tie-break of the historical deque BFS, keeping tables bit-equal.
+    adj = topo.adj.copy()
+    if dead_routers:
+        dr = np.fromiter(dead_routers, dtype=np.int64)
+        adj[dr, :] = False
+        adj[:, dr] = False
+    for (u, v) in dead_links:
+        adj[u, v] = False
+    indptr, indices = build_csr(adj)
 
     live = [r for r in range(n) if r not in dead_routers]
     paths: Dict[Tuple[int, int], List[Path]] = {}
     for s in live:
-        parent = [-1] * n
-        dist = [-1] * n
-        dist[s] = 0
-        dq = deque([s])
-        while dq:
-            u = dq.popleft()
-            du = dist[u]
-            for v in adj[u]:
-                if dist[v] < 0:
-                    dist[v] = du + 1
-                    parent[v] = u
-                    dq.append(v)
+        _, parent_arr = bfs_tree(indptr, indices, s, n)
+        parent = parent_arr.tolist()
         for d in live:
-            if d == s or dist[d] < 0:
+            if d == s or parent[d] < 0:
                 continue
             path = [d]
             while path[-1] != s:

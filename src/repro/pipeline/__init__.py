@@ -14,13 +14,18 @@ Layers:
   :func:`design_grid` (the declarative surface + worker-side dispatch);
 * :mod:`~repro.pipeline.stages` — staged batch execution with portfolio
   expansion (SA warm-starting the exact solve) and best-wins merge;
+* :mod:`~repro.pipeline.hierarchy` — the ``hierarchical`` strategy
+  (exact clusters + annealed inter-cluster stitching) for 256-1024-
+  router points;
 * :mod:`~repro.pipeline.explore` — end-to-end sweeps, ranking, and
   on-disk artifacts.
 """
 
 from .design import MAX_SCOP_ROUTERS, OBJECTIVES, STRATEGIES, DesignPoint, design_grid
 from .explore import ExploreResult, ExploreRow, explore, point_artifact_path
+from .hierarchy import generate_hierarchical
 from .stages import (
+    SIM_CUTOFF,
     PointEvaluation,
     evaluate_tables,
     generate_point,
@@ -39,6 +44,8 @@ __all__ = [
     "route_topologies",
     "evaluate_tables",
     "PointEvaluation",
+    "SIM_CUTOFF",
+    "generate_hierarchical",
     "explore",
     "ExploreResult",
     "ExploreRow",

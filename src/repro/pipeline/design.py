@@ -23,7 +23,11 @@ Strategies:
   objectives through :func:`repro.milp.branch_and_bound.solve_bnb`, an
   initial lazy cut for SCOp), with a best-wins merge.  Portfolio points
   are expanded by :mod:`repro.pipeline.stages`; the worker only ever
-  sees atomic ``sa``/``milp`` units.
+  sees atomic ``sa``/``milp`` units;
+* ``"hierarchical"`` — exact clusters replicated across the grid with
+  an annealed inter-cluster stitch (:mod:`repro.pipeline.hierarchy`),
+  the scale strategy for 256-1024-router points.  Atomic: it runs as a
+  single wave-1 unit, never portfolio-expanded.
 """
 
 from __future__ import annotations
@@ -38,7 +42,7 @@ from ..topology import Layout, parse_layout
 OBJECTIVES = ("latency", "sparsest_cut", "shuffle")
 _OBJECTIVE_KIND = {"latency": "latop", "sparsest_cut": "scop", "shuffle": "shufopt"}
 
-STRATEGIES = ("milp", "sa", "portfolio")
+STRATEGIES = ("milp", "sa", "portfolio", "hierarchical")
 
 #: Exact sparsest-cut separation (and therefore SCOp and the SA
 #: sparsest-cut objective) is enumeration-bound.
@@ -71,6 +75,11 @@ class DesignPoint:
     #: configuration (same semantics as
     #: :func:`repro.core.pregenerated.netsmith_topology`).
     use_frozen: bool = True
+    #: Cluster tile shape for the ``hierarchical`` strategy; ``None``
+    #: auto-picks divisors of the grid near 4 per side.  Ignored (and
+    #: neutralized by :meth:`canonical`) for every other strategy.
+    cluster_rows: Optional[int] = None
+    cluster_cols: Optional[int] = None
 
     # -- derived -------------------------------------------------------------
     @property
@@ -106,6 +115,29 @@ class DesignPoint:
                 f"sparsest-cut objective needs exact cuts "
                 f"(n <= {MAX_SCOP_ROUTERS}); {self.rows}x{self.cols} has {self.n}"
             )
+        if self.strategy == "hierarchical":
+            from .hierarchy import cluster_shape
+
+            if self.objective != "latency":
+                raise ValueError(
+                    "hierarchical strategy supports the latency objective "
+                    f"only, got {self.objective!r}"
+                )
+            if self.symmetric:
+                raise ValueError(
+                    "hierarchical strategy needs asymmetric links (the "
+                    "stitching moves are directed)"
+                )
+            if self.diameter_bound is not None:
+                raise ValueError(
+                    "hierarchical strategy does not honor diameter_bound"
+                )
+            if self.radix < 3:
+                raise ValueError(
+                    "hierarchical strategy needs radix >= 3 (one in/out "
+                    "port per router is reserved for inter-cluster links)"
+                )
+            cluster_shape(self)  # raises with guidance on bad tilings
         self.build_config().validate()
 
     def build_config(self):
@@ -142,13 +174,20 @@ class DesignPoint:
         """
         if self.strategy == "sa":
             return replace(
-                self, time_limit=0.0, max_iterations=0, backend="scipy"
+                self, time_limit=0.0, max_iterations=0, backend="scipy",
+                cluster_rows=None, cluster_cols=None,
             )
         if self.strategy == "milp":
-            neutral = replace(self, sa_steps=0, seed=0)
+            neutral = replace(
+                self, sa_steps=0, seed=0, cluster_rows=None, cluster_cols=None
+            )
             if self.objective != "sparsest_cut":
                 neutral = replace(neutral, max_iterations=0)
             return neutral
+        if self.strategy == "hierarchical":
+            # Reads the exact budget (cluster solve), SA budget + seed
+            # (stitch), backend, and the cluster shape; never lazy cuts.
+            return replace(self, max_iterations=0)
         return self
 
     # -- codecs --------------------------------------------------------------
@@ -170,6 +209,12 @@ class DesignPoint:
             "max_iterations": int(self.max_iterations),
             "backend": self.backend,
             "use_frozen": bool(self.use_frozen),
+            "cluster_rows": (
+                None if self.cluster_rows is None else int(self.cluster_rows)
+            ),
+            "cluster_cols": (
+                None if self.cluster_cols is None else int(self.cluster_cols)
+            ),
         }
 
     @classmethod
@@ -192,6 +237,14 @@ class DesignPoint:
             max_iterations=int(doc.get("max_iterations", 25)),
             backend=str(doc.get("backend", "scipy")),
             use_frozen=bool(doc.get("use_frozen", True)),
+            cluster_rows=(
+                None if doc.get("cluster_rows") is None
+                else int(doc["cluster_rows"])
+            ),
+            cluster_cols=(
+                None if doc.get("cluster_cols") is None
+                else int(doc["cluster_cols"])
+            ),
         )
 
     # -- worker-side generation ----------------------------------------------
@@ -258,6 +311,13 @@ class DesignPoint:
         complementary exact strategy); for SCOp, ``seed_links``'s exact
         sparsest cut joins the initial lazy cuts on either backend.
         """
+        if self.strategy == "hierarchical":
+            # Never served frozen: the registry holds flat designs for
+            # the paper's standard small configurations only.
+            from .hierarchy import generate_hierarchical
+
+            return generate_hierarchical(self)
+
         frozen = self._frozen_result()
         if frozen is not None:
             return frozen

@@ -24,6 +24,7 @@ from ..runner.orchestrator import Runner
 from ..topology.io import to_dict as topology_to_dict
 from .design import MAX_SCOP_ROUTERS, DesignPoint
 from .stages import (
+    SIM_CUTOFF,
     PointEvaluation,
     evaluate_tables,
     generate_points,
@@ -79,9 +80,10 @@ class ExploreResult:
 
         def key(r: ExploreRow):
             value = getattr(r.evaluation, attr)
-            # robustness is None when the sweep didn't evaluate it;
+            # robustness is None when the sweep didn't evaluate it, and
+            # saturation is NaN above the simulation size cutoff;
             # unmeasured points sink to the bottom of the ranking.
-            if value is None:
+            if value is None or (isinstance(value, float) and value != value):
                 value = float("-inf") if rev else float("inf")
             # avg hops breaks saturation/cut ties toward low latency
             return (value, -r.avg_hops)
@@ -134,6 +136,14 @@ def point_artifact_path(
     return os.path.join(out_dir, f"{safe}-{digest}.json")
 
 
+def _num(value: Optional[float]) -> Optional[float]:
+    """NaN -> ``null`` in artifacts, keeping them strict JSON (NaN marks
+    metrics the sweep skipped, e.g. saturation above the sim cutoff)."""
+    if value is not None and isinstance(value, float) and value != value:
+        return None
+    return value
+
+
 def _write_artifact(
     out_dir: str, row: ExploreRow, table: Any, eval_config: dict
 ) -> str:
@@ -152,8 +162,8 @@ def _write_artifact(
             "avg_hops": e.avg_hops,
             "diameter": e.diameter,
             "sparsest_cut": e.sparsest_cut,
-            "saturation_packets_node_cycle": e.saturation,
-            "saturation_packets_node_ns": e.saturation_ns,
+            "saturation_packets_node_cycle": _num(e.saturation),
+            "saturation_packets_node_ns": _num(e.saturation_ns),
             "robustness": e.robustness,
         },
     }
@@ -178,6 +188,7 @@ def explore(
     engine: Optional[str] = None,
     rank_by: str = "saturation",
     robustness: bool = False,
+    sim_cutoff: int = SIM_CUTOFF,
 ) -> ExploreResult:
     """Run a design-space sweep end to end and rank the results.
 
@@ -189,6 +200,10 @@ def explore(
     degraded saturation search per point — the most-central full-duplex
     link down — and records retained capacity as the ``robustness``
     metric (see :func:`~repro.pipeline.stages.evaluate_tables`).
+
+    Points above ``sim_cutoff`` routers are generated, routed, and
+    ranked on exact graph metrics but never simulated (saturation
+    ``NaN``); ``sim_cutoff=0`` turns the whole sweep metrics-only.
     """
     robustness = robustness or rank_by == "robustness"
     todo: List[DesignPoint] = []
@@ -224,6 +239,7 @@ def explore(
         runner=runner,
         engine=engine,
         robustness=robustness,
+        sim_cutoff=sim_cutoff,
     )
 
     rows = [
@@ -249,6 +265,7 @@ def explore(
             "eval_iters": eval_iters,
             "engine": engine,
             "robustness": robustness,
+            "sim_cutoff": sim_cutoff,
         }
         os.makedirs(out_dir, exist_ok=True)
         for row, table in zip(rows, tables):
@@ -262,7 +279,7 @@ def explore(
                     "name": r.name,
                     "avg_hops": r.avg_hops,
                     "sparsest_cut": r.sparsest_cut,
-                    "saturation_ns": r.saturation_ns,
+                    "saturation_ns": _num(r.saturation_ns),
                     "robustness": r.robustness,
                 }
                 for r in result.ranked(rank_by)

@@ -33,6 +33,13 @@ from .design import DesignPoint
 #: Objectives where smaller is better (sparsest cut maximizes).
 _MINIMIZING = {"latency": True, "shuffle": True, "sparsest_cut": False}
 
+#: Largest router count evaluated with cycle-accurate saturation
+#: searches; larger candidates are ranked on exact graph metrics alone
+#: (their ``bfs`` tables ship a trivial single-VC layering — see
+#: ``LAYERING_CUTOFF`` in :mod:`repro.routing.dest_tree` — and a
+#: simulation sweep at that scale would dwarf the generation cost).
+SIM_CUTOFF = 128
+
 
 @contextmanager
 def _ensure_runner(runner: Optional[Runner]):
@@ -81,6 +88,7 @@ def _better(objective: str, a: Any, b: Any) -> Any:
 def generate_points(
     points: Sequence[DesignPoint],
     runner: Optional[Runner] = None,
+    timings: Optional[Dict[str, float]] = None,
 ) -> List[Any]:
     """Generate one topology per design point (stage 1).
 
@@ -88,7 +96,13 @@ def generate_points(
     submission order.  Portfolio points expand into an SA wave and a
     warm-started exact wave with a best-wins merge; a point whose every
     strategy failed raises with the collected errors.
+
+    Pass a dict as ``timings`` to receive per-wave wall-clock seconds
+    (``wave1_s``, ``wave2_s``) — observability for the generation
+    benchmark, so scale regressions are attributable to a wave.
     """
+    import time as _time
+
     points = list(points)
     for p in points:
         p.validate()
@@ -101,7 +115,10 @@ def generate_points(
         for i, p in enumerate(points):
             unit = replace(p, strategy="sa") if p.strategy == "portfolio" else p
             wave1.append((i, _tasks.generation_payload(unit)))
+        wave_t0 = _time.perf_counter()
         wave1_results = r.run_tasks("generation", [pl for _, pl in wave1])
+        if timings is not None:
+            timings["wave1_s"] = _time.perf_counter() - wave_t0
         for (i, payload), res in zip(wave1, wave1_results):
             results[i] = res
             err = _failure(res)
@@ -132,8 +149,13 @@ def generate_points(
                 )))
             else:
                 wave2.append((i, _tasks.generation_payload(exact)))
+        if timings is not None:
+            timings["wave2_s"] = 0.0
         if wave2:
+            wave_t0 = _time.perf_counter()
             wave2_results = r.run_tasks("generation", [pl for _, pl in wave2])
+            if timings is not None:
+                timings["wave2_s"] = _time.perf_counter() - wave_t0
             for (i, _payload), res in zip(wave2, wave2_results):
                 err = _failure(res)
                 if err is not None:
@@ -184,7 +206,8 @@ class PointEvaluation:
     avg_hops: float
     diameter: int
     sparsest_cut: float
-    #: Measured saturation injection rate, packets/node/cycle.
+    #: Measured saturation injection rate, packets/node/cycle; ``NaN``
+    #: when the point sits above the simulation size cutoff.
     saturation: float
     #: The same, in packets/node/ns at the link class's clock.
     saturation_ns: float
@@ -204,6 +227,7 @@ def evaluate_tables(
     runner: Optional[Runner] = None,
     engine: Optional[str] = None,
     robustness: bool = False,
+    sim_cutoff: int = SIM_CUTOFF,
 ) -> List[PointEvaluation]:
     """Evaluate routed tables: graph metrics locally (cheap, exact for
     n <= 22) plus a uniform-traffic saturation search per table through
@@ -214,6 +238,11 @@ def evaluate_tables(
     down from cycle 0 — batched into the same ``sat_search`` fan-out;
     the evaluation's ``robustness`` is the degraded/baseline ratio
     (retained capacity, higher is better).
+
+    Tables with more than ``sim_cutoff`` routers skip the simulation
+    stage entirely (graph metrics only): ``saturation`` and
+    ``saturation_ns`` come back ``NaN`` and ``robustness`` stays
+    ``None``.  ``sim_cutoff=0`` disables simulation for the whole batch.
     """
     from ..topology import (
         CLASS_CLOCK_GHZ,
@@ -222,19 +251,20 @@ def evaluate_tables(
         sparsest_cut,
     )
 
+    simulated = [i for i, t in enumerate(tables) if t.topology.n <= sim_cutoff]
     with _ensure_runner(runner) as r:
         jobs = [
             SaturationJob(
-                table=t,
-                traffic=_tasks.TrafficSpec.uniform(t.topology.n),
-                name=t.topology.name,
+                table=tables[i],
+                traffic=_tasks.TrafficSpec.uniform(tables[i].topology.n),
+                name=tables[i].topology.name,
                 warmup=warmup,
                 measure=measure,
                 iters=iters,
                 seed=seed,
                 engine=engine,
             )
-            for t in tables
+            for i in simulated
         ]
         if robustness:
             from ..faults import central_link_faults
@@ -248,8 +278,12 @@ def evaluate_tables(
                 for j in jobs
             ]
         results = r.saturations(jobs)
-    saturations = results[: len(tables)]
-    degraded = results[len(tables):] if robustness else [None] * len(tables)
+    saturations = [float("nan")] * len(tables)
+    degraded: List[Optional[float]] = [None] * len(tables)
+    for k, i in enumerate(simulated):
+        saturations[i] = results[k]
+        if robustness:
+            degraded[i] = results[len(simulated) + k]
 
     out: List[PointEvaluation] = []
     for table, cls, sat, deg in zip(tables, link_classes, saturations, degraded):

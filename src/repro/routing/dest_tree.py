@@ -1,0 +1,168 @@
+"""Destination-tree BFS routing for large networks (the ``bfs`` policy).
+
+Every policy predating this one materializes per-flow path lists and a
+dict table — O(n² · avg_hops) entries — which is the memory wall at
+256+ routers.  Destination-tree routing spends O(n²) total: for each
+destination ``t``, one BFS on the *reversed* graph yields an in-tree
+whose parent pointers are exactly "next hop toward ``t``", shared by
+every source.  The result is destination-consistent by construction and
+compiles straight into a :class:`~repro.routing.tables.CSRRoutingTable`.
+
+Deadlock freedom comes from VC layering over whole destinations: flows
+to one destination all ride one layer.  Within a single destination the
+channel-dependency graph follows tree edges strictly toward the root, so
+it is acyclic on its own; cycles can only arise between *different*
+destinations sharing a layer.  A greedy first-fit packs destinations
+into layers, accepting a destination iff the union dependency graph of
+the layer stays acyclic (checked as "every strongly-connected component
+is a single vertex" via :func:`scipy.sparse.csgraph.connected_components`).
+Above ``layering_cutoff`` routers the layering is skipped entirely and
+the table ships with ``num_vcs = 1``: radix-4 destination trees on
+larger networks need more layers than the engine's occupancy-mask
+tables support (measured: ~9-11 layers at 128 routers, 22+ at 256, even
+flow-granular LASH-style eviction stays above 15 at 256), so the
+evaluation pipeline stops cycle-accurate simulation at the same size
+(see ``sim_cutoff`` in :func:`repro.pipeline.stages.evaluate_tables`)
+and larger candidates are ranked on exact metrics alone.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import connected_components
+
+from ..topology import Topology
+from ..topology.csr import bfs_tree, build_csr
+from .tables import CSRRoutingTable
+
+#: Largest router count whose tables get a real deadlock-free VC
+#: layering; larger networks are metrics-ranked only (never simulated)
+#: and ship a trivial single-layer assignment.
+LAYERING_CUTOFF = 128
+
+
+def bfs_dest_hops(topo: Topology) -> np.ndarray:
+    """Flat ``node*n + dst -> next hop`` array from per-dst BFS in-trees.
+
+    The BFS parent of ``v`` on the reversed graph is the head of a
+    forward link ``(v, parent)`` lying on a shortest ``v -> t`` path, so
+    it *is* the next hop.  :func:`~repro.topology.csr.bfs_tree` expands
+    FIFO with ascending-neighbor tie-breaks, making the tree (and hence
+    the whole table) deterministic.
+    """
+    n = topo.n
+    rindptr, rindices = build_csr(np.ascontiguousarray(topo.adj.T))
+    next_dst = np.full(n * n, -1, dtype=np.int64)
+    idx = np.arange(n, dtype=np.int64) * n
+    for t in range(n):
+        _, parent = bfs_tree(rindptr, rindices, t, n)
+        reach = parent >= 0
+        next_dst[idx[reach] + t] = parent[reach]
+    return next_dst
+
+
+def _dest_dependency_edges(
+    next_dst: np.ndarray, t: int, n: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Channel-dependency edges contributed by destination ``t``.
+
+    Channels are flat link ids ``a*n + b``.  A packet at ``v`` holds
+    channel ``(v, p(v))`` and next requests ``(p(v), p(p(v)))`` — unless
+    ``p(v)`` is the destination, where it is consumed.
+    """
+    hops = next_dst[np.arange(n, dtype=np.int64) * n + t]
+    v = np.nonzero(hops >= 0)[0]
+    p = hops[v]
+    inner = p != t
+    v, p = v[inner], p[inner]
+    pp = next_dst[p * n + t]
+    return v * n + p, p * n + pp
+
+
+def layer_destinations(
+    next_dst: np.ndarray, n: int, max_vcs: int
+) -> Tuple[np.ndarray, int]:
+    """Greedy first-fit packing of destinations into acyclic VC layers.
+
+    Returns ``(layer_of_dst, num_layers)``; raises if ``max_vcs`` layers
+    cannot hold every destination (mirroring
+    :func:`~repro.routing.vc_alloc.assign_vcs`'s contract).
+    """
+    layer_of = np.zeros(n, dtype=np.int64)
+    # Accumulated (src_channel, dst_channel) edge arrays per layer.
+    layers: List[List[np.ndarray]] = []
+
+    def acyclic(heads: np.ndarray, tails: np.ndarray) -> bool:
+        if heads.size == 0:
+            return True
+        chans, inv = np.unique(
+            np.concatenate([heads, tails]), return_inverse=True
+        )
+        m = chans.size
+        g = csr_matrix(
+            (
+                np.ones(heads.size, dtype=np.int8),
+                (inv[: heads.size], inv[heads.size :]),
+            ),
+            shape=(m, m),
+        )
+        ncomp = connected_components(
+            g, directed=True, connection="strong", return_labels=False
+        )
+        return ncomp == m  # every SCC trivial -> no dependency cycle
+
+    for t in range(n):
+        h, tl = _dest_dependency_edges(next_dst, t, n)
+        placed = False
+        for li, acc in enumerate(layers):
+            trial_h = np.concatenate([acc[0], h])
+            trial_t = np.concatenate([acc[1], tl])
+            if acyclic(trial_h, trial_t):
+                acc[0], acc[1] = trial_h, trial_t
+                layer_of[t] = li
+                placed = True
+                break
+        if not placed:
+            if len(layers) >= max_vcs:
+                raise ValueError(
+                    f"destination layering needs more than {max_vcs} VC "
+                    f"layers (stuck at destination {t})"
+                )
+            layers.append([h, tl])
+            layer_of[t] = len(layers) - 1
+    return layer_of, max(len(layers), 1)
+
+
+def bfs_dest_table(
+    topo: Topology,
+    max_vcs: int = 8,
+    seed: int = 0,
+    layering_cutoff: int = LAYERING_CUTOFF,
+) -> CSRRoutingTable:
+    """Route ``topo`` with per-destination BFS trees into a CSR table.
+
+    ``seed`` is accepted for call-site parity with the other policies
+    but unused — the policy is fully deterministic.
+    """
+    del seed
+    n = topo.n
+    next_dst = bfs_dest_hops(topo)
+    offdiag = ~np.eye(n, dtype=bool).reshape(n * n)
+    missing = offdiag & (next_dst < 0)
+    if missing.any():
+        k = int(np.nonzero(missing)[0][0])
+        raise ValueError(
+            f"topology is not strongly connected: no route for flow "
+            f"({k // n},{k % n})"
+        )
+    if n <= layering_cutoff:
+        layer_of, num_vcs = layer_destinations(next_dst, n, max_vcs)
+    else:
+        layer_of, num_vcs = np.zeros(n, dtype=np.int64), 1
+    flow_vc = np.tile(layer_of, n)  # flow (s, d) rides d's layer
+    return CSRRoutingTable.from_hops(
+        topo, next_dst, flow_vc, offdiag, num_vcs
+    )

@@ -5,6 +5,14 @@ the task's canonical configuration (:mod:`repro.runner.hashing`).  Values
 are plain JSON documents produced by the task codecs in
 :mod:`repro.runner.tasks`.
 
+Large values — compiled routing tables dominate; a 1024-router CSR
+table document runs to megabytes of JSON — are stored zlib-compressed
+as ``<key>.json.z`` once their serialized form crosses
+:data:`COMPRESS_THRESHOLD` bytes (flat integer arrays compress ~10x),
+so scale sweeps stay resumable without blowing the on-disk cache.
+Reads accept either form transparently; small entries stay plain JSON
+and greppable.
+
 Robustness over cleverness:
 
 * writes are atomic (temp file + ``os.replace``) so a killed run never
@@ -23,11 +31,15 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import zlib
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
 #: Sentinel distinguishing "no entry" from a cached ``None``.
 MISS = object()
+
+#: Serialized size (bytes) above which an entry is stored compressed.
+COMPRESS_THRESHOLD = 4096
 
 
 def default_cache_dir() -> str:
@@ -71,38 +83,66 @@ class ResultCache:
     def path_for(self, key: str) -> str:
         return os.path.join(self.root, key[:2], f"{key}.json")
 
+    def zpath_for(self, key: str) -> str:
+        """The compressed sibling of :meth:`path_for`."""
+        return self.path_for(key) + ".z"
+
     def get(self, key: str) -> Any:
         """The cached value for ``key``, or :data:`MISS`."""
-        path = self.path_for(key)
-        try:
-            with open(path) as fh:
-                doc = json.load(fh)
-            value = doc["value"]
-        except FileNotFoundError:
-            self.stats.misses += 1
-            return MISS
-        except (json.JSONDecodeError, KeyError, TypeError, OSError):
-            # Corrupted entry: drop it and recompute.
-            self.stats.errors += 1
-            self.stats.misses += 1
+        for path, compressed in (
+            (self.path_for(key), False),
+            (self.zpath_for(key), True),
+        ):
             try:
-                os.unlink(path)
-            except OSError:
-                pass
-            return MISS
-        self.stats.hits += 1
-        return value
+                if compressed:
+                    with open(path, "rb") as fh:
+                        doc = json.loads(zlib.decompress(fh.read()))
+                else:
+                    with open(path) as fh:
+                        doc = json.load(fh)
+                value = doc["value"]
+            except FileNotFoundError:
+                continue
+            except (
+                json.JSONDecodeError, zlib.error, UnicodeDecodeError,
+                KeyError, TypeError, OSError,
+            ):
+                # Corrupted entry: drop it and recompute.
+                self.stats.errors += 1
+                self.stats.misses += 1
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+                return MISS
+            self.stats.hits += 1
+            return value
+        self.stats.misses += 1
+        return MISS
 
     def put(self, key: str, value: Any) -> None:
-        """Atomically store ``value`` (must be JSON-serializable)."""
-        path = self.path_for(key)
+        """Atomically store ``value`` (must be JSON-serializable).
+
+        Entries whose serialized form exceeds
+        :data:`COMPRESS_THRESHOLD` bytes land zlib-compressed at
+        ``<key>.json.z``; the other form's twin (from an older cache
+        layout or a threshold change) is removed so a key never exists
+        in both forms.
+        """
+        payload = json.dumps({"key": key, "value": value})
+        compress = len(payload) > COMPRESS_THRESHOLD
+        path = self.zpath_for(key) if compress else self.path_for(key)
+        twin = self.path_for(key) if compress else self.zpath_for(key)
         os.makedirs(os.path.dirname(path), exist_ok=True)
         fd, tmp = tempfile.mkstemp(
             dir=os.path.dirname(path), prefix=".tmp-", suffix=".json"
         )
         try:
-            with os.fdopen(fd, "w") as fh:
-                json.dump({"key": key, "value": value}, fh)
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(
+                    zlib.compress(payload.encode(), level=6)
+                    if compress else payload.encode()
+                )
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -110,11 +150,16 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        try:
+            os.unlink(twin)
+        except OSError:
+            pass
         self.stats.puts += 1
 
     def delete(self, key: str) -> None:
         """Drop an entry (e.g. a cached failure that should be retried)."""
-        try:
-            os.unlink(self.path_for(key))
-        except OSError:
-            pass
+        for path in (self.path_for(key), self.zpath_for(key)):
+            try:
+                os.unlink(path)
+            except OSError:
+                pass

@@ -28,6 +28,8 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+import numpy as np
+
 from ..routing.tables import RoutingTable
 from ..sim.fastnet import DEFAULT_ENGINE
 from ..sim.network import SimStats
@@ -64,8 +66,13 @@ from ..topology import Layout, Topology
 #: fault schedule, traffic specs an optional burst modulation, and
 #: :class:`~repro.sim.network.SimStats` a ``lost_packets`` field.
 #: Fault-free stationary results are unchanged (the differential suite
-#: pins them), but the payload surface grew, so provenance bumps.
-TASK_VERSION = 6
+#: pins them), but the payload surface grew, so provenance bumps.  v7:
+#: sparse-at-scale — routing payloads accept the destination-tree
+#: ``bfs`` policy, table docs gain the ``"csr"`` format (flat
+#: destination-keyed arrays instead of per-(node, src, dst) entries),
+#: and large cached entries are stored zlib-compressed.  Existing
+#: dict-table results are unchanged, but the codec surface grew.
+TASK_VERSION = 7
 
 
 # ---------------------------------------------------------------------------
@@ -205,30 +212,42 @@ class TrafficSpec:
 # Routing-table codec.
 # ---------------------------------------------------------------------------
 
-def encode_table(table: RoutingTable) -> Dict[str, Any]:
+def encode_table(table) -> Dict[str, Any]:
     """A deterministic, JSON-clean description of a routing table.
 
     Sorted entry lists make the encoding canonical, so the same routed
-    configuration always hashes to the same cache key.
+    configuration always hashes to the same cache key.  Destination-
+    keyed tables (:class:`~repro.routing.tables.CSRRoutingTable`) encode
+    as ``format: "csr"`` with flat n² arrays — O(n²) doc size where the
+    dict form is O(n² · avg_hops) — and decode back to the CSR class.
     """
     topo = table.topology
-    return {
+    doc = {
         "layout": [topo.layout.rows, topo.layout.cols],
         "links": sorted([int(i), int(j)] for i, j in topo.directed_links),
         "name": topo.name,
         "link_class": topo.link_class,
-        "next_hop": sorted(
-            [int(n), int(s), int(d), int(nh)]
-            for (n, s, d), nh in table.next_hop.items()
-        ),
-        "flow_vc": sorted(
-            [int(s), int(d), int(vc)] for (s, d), vc in table.flow_vc.items()
-        ),
         "num_vcs": int(table.num_vcs),
     }
+    if getattr(table, "dest_keyed", False):
+        doc["format"] = "csr"
+        doc["next_dst"] = table.next_matrix().tolist()
+        doc["flow_vc"] = table.flow_vc.tolist()
+        doc["flow_mask"] = np.asarray(
+            table.flow_mask, dtype=np.int8
+        ).tolist()
+        return doc
+    doc["next_hop"] = sorted(
+        [int(n), int(s), int(d), int(nh)]
+        for (n, s, d), nh in table.next_hop.items()
+    )
+    doc["flow_vc"] = sorted(
+        [int(s), int(d), int(vc)] for (s, d), vc in table.flow_vc.items()
+    )
+    return doc
 
 
-def decode_table(doc: Dict[str, Any]) -> RoutingTable:
+def decode_table(doc: Dict[str, Any]):
     rows, cols = doc["layout"]
     topo = Topology(
         Layout(rows=rows, cols=cols),
@@ -236,6 +255,16 @@ def decode_table(doc: Dict[str, Any]) -> RoutingTable:
         name=doc.get("name", "topology"),
         link_class=doc.get("link_class"),
     )
+    if doc.get("format") == "csr":
+        from ..routing.tables import CSRRoutingTable
+
+        return CSRRoutingTable.from_hops(
+            topo,
+            np.asarray(doc["next_dst"], dtype=np.int64),
+            np.asarray(doc["flow_vc"], dtype=np.int64),
+            np.asarray(doc["flow_mask"], dtype=bool),
+            int(doc["num_vcs"]),
+        )
     return RoutingTable(
         topology=topo,
         next_hop={(n, s, d): nh for n, s, d, nh in doc["next_hop"]},
@@ -636,6 +665,14 @@ def routing_task(payload: Dict[str, Any]) -> Dict[str, Any]:
         link_class=doc.get("link_class"),
     )
     policy, seed = payload["policy"], payload["seed"]
+    if policy == "bfs":
+        # Destination-tree routing compiles straight to a CSR table —
+        # O(n²) memory end to end, no per-flow path lists.
+        from ..routing.dest_tree import bfs_dest_table
+
+        return encode_table(
+            bfs_dest_table(topo, max_vcs=payload["max_vcs"], seed=seed)
+        )
     if policy == "ndbt":
         routes = ndbt_route(topo, seed=seed)
     elif policy == "mclb":

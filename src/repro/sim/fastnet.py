@@ -135,22 +135,38 @@ class CompiledNetwork:
         self.num_vcs = V
         self.num_links = L
 
-        # Dense routing state.  -1 marks (node, src, dst) triples no flow
-        # ever visits; a valid table never reads them.
-        nh = [-1] * (n * n * n)
-        for (node, src, dst), hop in table.next_hop.items():
-            nh[(node * n + src) * n + dst] = hop
-        self.nh = nh
-        vc_of = [0] * (n * n)
-        for (src, dst), vc in table.flow_vc.items():
-            vc_of[src * n + dst] = vc
-        self.vc_of = vc_of
-
         # Channel id space: links 0..L-1, injection pseudo-channels L..L+n-1.
         out_id = [-1] * (n * n)
         for ch, (u, v) in enumerate(links):
             out_id[u * n + v] = ch
         self.out_id = out_id
+
+        # Routing state: the hot loop asks "which output channel does
+        # the packet (src, dst) parked at router v request next?".
+        # Destination-keyed (CSR) tables answer from a flat n² array;
+        # dict tables, whose hop may depend on the source, answer from a
+        # sparse dict over the (v, src, dst) triples the table actually
+        # names.  Both store the *request key* (the output channel id,
+        # ``out_id`` pre-applied), never the raw hop — and neither
+        # materializes the historical dense n³ next-hop list.
+        if getattr(table, "dest_keyed", False):
+            nm = table.next_matrix()
+            self.fwd = None
+            self.fwd_dst = [
+                -1 if hop < 0 else out_id[(k // n) * n + hop]
+                for k, hop in enumerate(nm.tolist())
+            ]
+            vc_of = np.where(table.flow_mask, table.flow_vc, 0).tolist()
+        else:
+            fwd = {}
+            for (node, src, dst), hop in table.next_hop.items():
+                fwd[(node * n + src) * n + dst] = out_id[node * n + hop]
+            self.fwd = fwd
+            self.fwd_dst = None
+            vc_of = [0] * (n * n)
+            for (src, dst), vc in table.flow_vc.items():
+                vc_of[src * n + dst] = vc
+        self.vc_of = vc_of
         self.ch_dst = [v for _, v in links]  # downstream router per link
         self.ch_src = [u for u, _ in links]  # upstream router per link
         # Per-router input scan order mirrors the reference exactly:
@@ -184,15 +200,15 @@ class CompiledNetwork:
         # source-queued packet will request at its own router (-1 =
         # immediate ejection, src == dst).  Shared by the inline path
         # and, as a numpy table, by vectorized trace-event compilation.
-        inj_key = [-1] * (n * n)
-        for src in range(n):
-            base = src * n
-            for dst in range(n):
-                if dst == src:
-                    continue
-                hop = nh[(base + src) * n + dst]
-                if hop >= 0:
-                    inj_key[base + dst] = out_id[base + hop]
+        if self.fwd_dst is not None:
+            # Destination-keyed: the at-source request key *is* the
+            # (node, dst) forward key, diagonal already -1.
+            inj_key = list(self.fwd_dst)
+        else:
+            inj_key = [-1] * (n * n)
+            for (node, src, dst), _hop in table.next_hop.items():
+                if node == src:
+                    inj_key[src * n + dst] = self.fwd[(node * n + src) * n + dst]
         self.inj_key = inj_key
         self.inj_key_np = np.array(inj_key, dtype=np.int64)
         self.vc_of_np = np.array(vc_of, dtype=np.int64)
@@ -200,11 +216,16 @@ class CompiledNetwork:
         # Flow liveness: True iff the table can route (src, dst).
         # Self-traffic always delivers.  Survivor tables of a fault epoch
         # omit unreachable flows; the engines count their traffic as lost.
-        flow_ok = [False] * (n * n)
-        for src in range(n):
-            flow_ok[src * n + src] = True
-        for (src, dst) in table.flow_vc:
-            flow_ok[src * n + dst] = True
+        if self.fwd_dst is not None:
+            ok = np.asarray(table.flow_mask, dtype=bool).copy()
+            ok[np.arange(n) * (n + 1)] = True
+            flow_ok = ok.tolist()
+        else:
+            flow_ok = [False] * (n * n)
+            for src in range(n):
+                flow_ok[src * n + src] = True
+            for (src, dst) in table.flow_vc:
+                flow_ok[src * n + dst] = True
         self.flow_ok = flow_ok
         self.flow_ok_np = np.array(flow_ok, dtype=bool)
 
@@ -283,7 +304,8 @@ class FastNetworkSimulator:
         self.num_vcs = compiled.num_vcs
         self.num_links = compiled.num_links
         # Hot-loop views of the immutable compile.
-        self.nh = compiled.nh
+        self.fwd = compiled.fwd
+        self.fwd_dst = compiled.fwd_dst
         self.vc_of = compiled.vc_of
         self.out_id = compiled.out_id
         self.inj_key = compiled.inj_key
@@ -477,7 +499,8 @@ class FastNetworkSimulator:
         ej_rr = self.ej_rr
         in_bases = self.in_bases
         out_id = self.out_id
-        nh = self.nh
+        fwd = self.fwd
+        fwd_dst = self.fwd_dst
         ch_dst = self.ch_dst
         vcs_of = self.vcs_of
         slot_src = self.slot_src
@@ -833,8 +856,10 @@ class FastNetworkSimulator:
                         dst = rec[4]
                         if dst == v:
                             nkey = -1
+                        elif fwd_dst is not None:
+                            nkey = fwd_dst[v * n + dst]
                         else:
-                            nkey = out_id[v * n + nh[(v * n + src) * n + dst]]
+                            nkey = fwd[(v * n + src) * n + dst]
                         ready = done + hop_delay
                         nrec = (ready, nkey, size, src, dst, rec[5])
                         bit = 1 << vc
@@ -1064,7 +1089,8 @@ class FastNetworkSimulator:
 
         self.cn = cn_new
         self.table = epoch.table
-        self.nh = cn_new.nh
+        self.fwd = cn_new.fwd
+        self.fwd_dst = cn_new.fwd_dst
         self.vc_of = cn_new.vc_of
         self.out_id = cn_new.out_id
         self.inj_key = cn_new.inj_key

@@ -19,6 +19,7 @@ import numpy as np
 from scipy.sparse import csr_matrix
 from scipy.sparse.csgraph import shortest_path
 
+from . import csr as _csr
 from .layout import Layout
 
 INF = float("inf")
@@ -47,6 +48,8 @@ class Topology:
             adj[i, j] = True
         self.adj = adj
         self._dist: Optional[np.ndarray] = None
+        self._csr: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._hop_stats: Optional[_csr.HopStats] = None
 
     # -- constructors -----------------------------------------------------------
     @classmethod
@@ -129,18 +132,46 @@ class Topology:
 
     # -- distances --------------------------------------------------------------------
     def hop_matrix(self) -> np.ndarray:
-        """All-pairs minimum hop counts (``inf`` where unreachable)."""
+        """All-pairs minimum hop counts (``inf`` where unreachable).
+
+        Materializes the dense n×n matrix; metric queries that only need
+        aggregates should prefer :meth:`hop_stats`, which streams CSR
+        BFS blocks and never allocates O(n²).
+        """
         if self._dist is None:
             graph = csr_matrix(self.adj.astype(np.int8))
             self._dist = shortest_path(graph, method="D", unweighted=True)
         return self._dist
 
+    def csr(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Cached ``(indptr, indices)`` CSR view of the adjacency."""
+        if self._csr is None:
+            self._csr = _csr.build_csr(self.adj)
+        return self._csr
+
+    def hop_stats(self) -> _csr.HopStats:
+        """Cached all-pairs hop aggregates via CSR multi-source BFS."""
+        if self._hop_stats is None:
+            indptr, indices = self.csr()
+            self._hop_stats = _csr.hop_stats(indptr, indices, self.n)
+        return self._hop_stats
+
     def invalidate_cache(self) -> None:
         self._dist = None
+        self._csr = None
+        self._hop_stats = None
 
     def is_connected(self) -> bool:
         """Strong connectivity (every router reaches every other)."""
-        return bool(np.isfinite(self.hop_matrix()).all())
+        if self._dist is not None:  # already paid for the dense matrix
+            return bool(np.isfinite(self._dist).all())
+        if self._hop_stats is not None:
+            return self._hop_stats.connected
+        indptr, indices = self.csr()
+        rindptr, rindices = _csr.build_csr(self.adj.T)
+        return _csr.is_strongly_connected(
+            indptr, indices, rindptr, rindices, self.n
+        )
 
     # -- mutation (returns new objects; Topology is conceptually immutable) ------------
     def with_link(self, i: int, j: int) -> "Topology":

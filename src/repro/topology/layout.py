@@ -14,7 +14,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
 
 #: Named link-length classes (paper Section III-A(b), Fig. 3).
 LINK_CLASSES: Dict[str, Tuple[int, int]] = {
@@ -22,6 +25,12 @@ LINK_CLASSES: Dict[str, Tuple[int, int]] = {
     "medium": (2, 0),
     "large": (2, 1),
 }
+
+#: Hard ceiling on router counts: 4096 routers (a 64x64 grid) is already
+#: beyond any plausible interposer, and every dense n² structure left in
+#: the stack stays comfortably in memory below it.  Larger requests are
+#: almost certainly typos and fail fast with a clear error.
+MAX_ROUTERS = 4096
 
 #: NoI clock frequency per link-length class, GHz (paper Section IV).
 CLASS_CLOCK_GHZ: Dict[str, float] = {
@@ -80,14 +89,11 @@ class Layout:
         """All directed ``(i, j)`` pairs reachable within the class limit.
 
         This is the paper's valid-link set ``L`` (constraint C3).
+        Vectorized and memoized per (layout, class): the historical
+        per-pair Python loop was O(n²) work on *every* call, which
+        dominated whole annealing runs at 256+ routers.
         """
-        limit = class_max_length(link_class) + 1e-9
-        out = []
-        for i in range(self.n):
-            for j in range(self.n):
-                if i != j and self.length(i, j) <= limit:
-                    out.append((i, j))
-        return out
+        return list(_valid_links_cached(self.rows, self.cols, link_class))
 
     def link_class_of(self, i: int, j: int) -> str:
         """Smallest named class that admits link ``(i, j)``."""
@@ -112,6 +118,36 @@ class Layout:
         return [r for r in range(self.n) if r not in mcs]
 
 
+@lru_cache(maxsize=64)
+def _valid_links_cached(
+    rows: int, cols: int, link_class: str
+) -> Tuple[Tuple[int, int], ...]:
+    """Directed valid-link pairs, (i, j) row-major — the loop's order.
+
+    The Euclidean test ``hypot(dx, dy) <= max_len + 1e-9`` over integer
+    spans reduces to the exact integer comparison
+    ``dx² + dy² <= max_dx² + max_dy²`` (the epsilon only ever guarded
+    float equality), so the vectorized form reproduces the historical
+    pair list bit-for-bit.
+    """
+    dx0, dy0 = LINK_CLASSES[link_class]
+    lim2 = dx0 * dx0 + dy0 * dy0
+    n = rows * cols
+    out: List[Tuple[int, int]] = []
+    xs = (np.arange(n, dtype=np.int32) % cols)
+    ys = (np.arange(n, dtype=np.int32) // cols)
+    chunk = max(1, (1 << 22) // max(n, 1))  # bound peak memory at 4096
+    for start in range(0, n, chunk):
+        stop = min(start + chunk, n)
+        dx = xs[start:stop, None] - xs[None, :]
+        dy = ys[start:stop, None] - ys[None, :]
+        ok = dx * dx + dy * dy <= lim2
+        ok[np.arange(start, stop) - start, np.arange(start, stop)] = False
+        ii, jj = np.nonzero(ok)
+        out.extend(zip((ii + start).tolist(), jj.tolist()))
+    return tuple(out)
+
+
 #: The paper's standard layouts.
 LAYOUT_4X5 = Layout(rows=4, cols=5)  # 20 routers (synthetic + full system)
 LAYOUT_6X5 = Layout(rows=6, cols=5)  # 30 routers (Table II lower half)
@@ -127,6 +163,15 @@ def standard_layout(n_routers: int) -> Layout:
     -tall orientation), so arbitrary system sizes are first-class design
     points rather than errors.  Prime counts fall back to a single row.
     """
+    if n_routers <= 0:
+        raise ValueError(
+            f"router count must be positive, got {n_routers}"
+        )
+    if n_routers > MAX_ROUTERS:
+        raise ValueError(
+            f"router count {n_routers} exceeds the supported maximum "
+            f"of {MAX_ROUTERS} (64x64)"
+        )
     table = {20: LAYOUT_4X5, 30: LAYOUT_6X5, 48: LAYOUT_8X6}
     if n_routers in table:
         return table[n_routers]
@@ -145,6 +190,15 @@ def parse_layout(spec: str) -> Layout:
         rows, cols = int(rows_s), int(cols_s)
     except ValueError:
         raise ValueError(f"layout spec must look like '4x5', got {spec!r}") from None
-    if rows < 1 or cols < 1 or rows * cols < 2:
+    if rows < 1 or cols < 1:
+        raise ValueError(
+            f"layout {spec!r} needs positive dimensions, got {rows}x{cols}"
+        )
+    if rows * cols > MAX_ROUTERS:
+        raise ValueError(
+            f"layout {spec!r} has {rows * cols} routers, exceeding the "
+            f"supported maximum of {MAX_ROUTERS} (64x64)"
+        )
+    if rows * cols < 2:
         raise ValueError(f"layout {spec!r} needs at least 2 routers")
     return Layout(rows=rows, cols=cols)

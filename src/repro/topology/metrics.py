@@ -31,36 +31,60 @@ from .graph import Topology
 _EXHAUSTIVE_LIMIT = 22
 _CHUNK = 1 << 12
 
+#: Above this size the spectral+KL cut heuristic (O(n²) per refinement
+#: probe) is replaced by an O(E log n) Fiedler sweep cut.
+_KL_LIMIT = 128
+
 
 # ---------------------------------------------------------------------------
 # Hop statistics
 # ---------------------------------------------------------------------------
+#
+# ``method="sparse"`` (the default) streams CSR multi-source BFS blocks
+# (:mod:`repro.topology.csr`) in O(n·E) time and O(n) memory per block;
+# ``method="dense"`` is the historical all-pairs hop-matrix path, kept
+# as the equivalence oracle.  Hop counts are small exact integers, so
+# the two paths return bit-identical floats (the property suite asserts
+# it over random connected topologies).
 
-def average_hops(topo: Topology) -> float:
+def average_hops(topo: Topology, method: str = "sparse") -> float:
     """Mean shortest-path hops over all ordered pairs, excluding self-pairs."""
-    d = topo.hop_matrix()
-    n = topo.n
-    off = d[~np.eye(n, dtype=bool)]
-    if not np.isfinite(off).all():
+    if method == "dense":
+        d = topo.hop_matrix()
+        n = topo.n
+        off = d[~np.eye(n, dtype=bool)]
+        if not np.isfinite(off).all():
+            return float("inf")
+        return float(off.mean())
+    s = topo.hop_stats()
+    if not s.connected:
         return float("inf")
-    return float(off.mean())
+    return float(s.total / s.pairs)
 
-def diameter(topo: Topology) -> int:
-    d = topo.hop_matrix()
-    n = topo.n
-    off = d[~np.eye(n, dtype=bool)]
-    if not np.isfinite(off).all():
+
+def diameter(topo: Topology, method: str = "sparse") -> int:
+    if method == "dense":
+        d = topo.hop_matrix()
+        n = topo.n
+        off = d[~np.eye(n, dtype=bool)]
+        if not np.isfinite(off).all():
+            raise ValueError(f"{topo.name}: disconnected; diameter undefined")
+        return int(off.max())
+    s = topo.hop_stats()
+    if not s.connected:
         raise ValueError(f"{topo.name}: disconnected; diameter undefined")
-    return int(off.max())
+    return int(s.max_hop)
 
 
-def hop_histogram(topo: Topology) -> Dict[int, int]:
+def hop_histogram(topo: Topology, method: str = "sparse") -> Dict[int, int]:
     """Count of ordered pairs at each hop distance (the latency distribution)."""
-    d = topo.hop_matrix()
-    n = topo.n
-    off = d[~np.eye(n, dtype=bool)].astype(int)
-    vals, counts = np.unique(off, return_counts=True)
-    return {int(v): int(c) for v, c in zip(vals, counts)}
+    if method == "dense":
+        d = topo.hop_matrix()
+        n = topo.n
+        off = d[~np.eye(n, dtype=bool)].astype(int)
+        vals, counts = np.unique(off, return_counts=True)
+        return {int(v): int(c) for v, c in zip(vals, counts)}
+    return topo.hop_stats().histogram()
 
 
 # ---------------------------------------------------------------------------
@@ -219,6 +243,69 @@ def _heuristic_cut(
     return best, best_m
 
 
+def _fiedler_vector(sym: np.ndarray, seed: int) -> np.ndarray:
+    """Second Laplacian eigenvector, sparse when the size warrants it."""
+    n = sym.shape[0]
+    deg = sym.sum(axis=1)
+    try:
+        from scipy.sparse import csr_matrix as _sp_csr, diags
+        from scipy.sparse.linalg import eigsh
+
+        lap = diags(deg) - _sp_csr(sym)
+        rng = np.random.default_rng(seed)
+        _, vecs = eigsh(
+            lap.tocsc(), k=2, sigma=-1e-3, which="LM",
+            v0=rng.standard_normal(n),
+        )
+        return vecs[:, 1]
+    except Exception:
+        lap = np.diag(deg) - sym
+        _, vecs = np.linalg.eigh(lap)
+        return vecs[:, 1]
+
+
+def _sweep_cut(
+    adj: np.ndarray, objective: str, seed: int
+) -> Tuple[float, np.ndarray]:
+    """Fiedler sweep cut for large n (O(E log n) after the eigensolve).
+
+    Orders nodes by the Fiedler vector and scans every prefix cut,
+    maintaining both directed cross-edge counts incrementally as one
+    node at a time moves into U.  ``objective`` selects the sparsest
+    prefix (``"sparsest"``) or the balanced prefix (``"bisection"``).
+    """
+    n = adj.shape[0]
+    sym = ((adj + adj.T) > 0).astype(np.float64)
+    order = np.argsort(_fiedler_vector(sym, seed), kind="stable")
+    memb = np.zeros(n, dtype=bool)
+    cross_uv = 0  # directed links U -> V
+    cross_vu = 0
+    best = np.inf
+    best_k = 1
+    half = n // 2
+    for k, x in enumerate(order[:-1], start=1):
+        # moving x from V to U: U->x and x->U links stop crossing,
+        # x's links to/from the remaining V start crossing (the x,x
+        # diagonal is always zero, so no self-correction is needed).
+        out_nbrs = adj[x]
+        in_nbrs = adj[:, x]
+        cross_uv += int(out_nbrs[~memb].sum()) - int(in_nbrs[memb].sum())
+        cross_vu += int(in_nbrs[~memb].sum()) - int(out_nbrs[memb].sum())
+        memb[x] = True
+        c = min(cross_uv, cross_vu)
+        if objective == "sparsest":
+            v = c / (k * (n - k))
+        elif k == half:
+            v = float(c)
+        else:
+            continue
+        if v < best:
+            best, best_k = v, k
+    best_memb = np.zeros(n, dtype=bool)
+    best_memb[order[:best_k]] = True
+    return float(best), best_memb
+
+
 # ---------------------------------------------------------------------------
 # Public cut metrics
 # ---------------------------------------------------------------------------
@@ -250,7 +337,10 @@ def sparsest_cut(
             raise ValueError(f"exhaustive cut scan infeasible for n={n}")
         val, memb, _, _ = _cut_scan(topo.adj, balanced_only=False)
         return CutResult(val, memb, True)
-    val, memb = _heuristic_cut(topo.adj, "sparsest", restarts, seed)
+    if n > _KL_LIMIT:
+        val, memb = _sweep_cut(topo.adj, "sparsest", seed)
+    else:
+        val, memb = _heuristic_cut(topo.adj, "sparsest", restarts, seed)
     return CutResult(val, memb, False)
 
 
@@ -269,6 +359,8 @@ def bisection_bandwidth(
         exact = n <= _EXHAUSTIVE_LIMIT
     if exact:
         _, _, val, _ = _cut_scan(topo.adj, balanced_only=True)
+    elif n > _KL_LIMIT:
+        val, _ = _sweep_cut(topo.adj, "bisection", seed)
     else:
         val, _ = _heuristic_cut(topo.adj, "bisection", restarts, seed)
     return int(round(val))
