@@ -1,0 +1,78 @@
+"""Recovery scenario-grid benchmark: cold sweep vs cached rerun.
+
+Runs the ``recovery`` experiment's full flap grid (topologies x PARSEC
+workloads x link/router flap scenarios, fast budgets) of windowed
+closed-loop simulations with timeout/retry active against a fresh cache
+directory, then runs it again and asserts the rerun is 100% cache hits —
+the resumability contract, exercised through the newest task family
+(``recovery``).  Also pins the experiment's headline contract: every
+link-repair scenario reports a *finite* time-to-drain.
+
+Results land in ``BENCH_recovery.json`` (schema: benchmarks/conftest):
+cold/warm wall seconds, grid shape, and the rerun's cache counters.
+"""
+
+import tempfile
+import time
+
+from repro.experiments.recovery import (
+    DEFAULT_TOPOLOGIES,
+    DEFAULT_WORKLOADS,
+    recovery_grid,
+)
+from repro.runner import Runner
+
+
+def _grid(cache_dir: str, out_dir: str):
+    with Runner(parallel=1, cache_dir=cache_dir) as runner:
+        t0 = time.perf_counter()
+        result = recovery_grid(runner=runner, fast=True, out_dir=out_dir)
+        return time.perf_counter() - t0, result, runner.stats
+
+
+def test_recovery_grid_cold_then_cached(once, bench_record):
+    def harness():
+        with tempfile.TemporaryDirectory() as tmp:
+            cold_s, cold, _ = _grid(tmp + "/cache", tmp + "/artifacts")
+            warm_s, warm, stats = _grid(tmp + "/cache", tmp + "/artifacts")
+            return cold_s, cold, warm_s, warm, stats
+
+    cold_s, cold, warm_s, warm, stats = once(harness)
+
+    print(f"\nrecovery grid: {len(cold.cells)} scenario cells over "
+          f"{len(DEFAULT_TOPOLOGIES)} topologies x "
+          f"{len(DEFAULT_WORKLOADS)} workloads")
+    for c in cold.cells:
+        print(f"  {c.topology:<14} {c.workload:<14} {c.scenario:<11} "
+              f"drain={c.metrics.time_to_drain:.0f} "
+              f"settle={c.metrics.settling_time:.0f} "
+              f"failed={c.failed} retried={c.retried}")
+    print(f"cold {cold_s:.1f}s | cached rerun {warm_s:.1f}s | {stats.summary()}")
+
+    assert [c.as_dict() for c in warm.cells] == [
+        c.as_dict() for c in cold.cells
+    ], "cached rerun changed the grid's numbers"
+    assert stats.misses == 0, (
+        f"cached rerun recomputed {stats.misses} task(s); "
+        "the scenario grid must be 100% cache hits on an immediate rerun"
+    )
+    link_cells = [c for c in cold.cells if c.scenario == "linkflap"]
+    assert link_cells, "grid lost its link-flap scenarios"
+    for c in link_cells:
+        assert c.metrics.time_to_drain != float("inf"), (
+            f"{c.topology}/{c.workload}: backlog never drained after the "
+            "link came back up"
+        )
+
+    bench_record(
+        cells=len(cold.cells),
+        topologies=len(DEFAULT_TOPOLOGIES),
+        workloads=len(DEFAULT_WORKLOADS),
+        cold_wall_s=round(cold_s, 3),
+        cached_wall_s=round(warm_s, 3),
+        rerun_hits=stats.hits,
+        rerun_misses=stats.misses,
+        worst_drain_cycles=max(
+            c.metrics.time_to_drain for c in cold.cells
+        ),
+    )

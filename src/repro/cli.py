@@ -308,6 +308,28 @@ def cmd_explore(args) -> int:
     return 0
 
 
+def _retry_policy(args):
+    """The recovery experiment's RetryPolicy from --timeout/--retries/
+    --backoff; None when no flag was given (the experiment default)."""
+    flags = (
+        getattr(args, "timeout", None),
+        getattr(args, "retries", None),
+        getattr(args, "backoff", None),
+    )
+    if all(f is None for f in flags):
+        return None
+    from .experiments.recovery import DEFAULT_RETRY
+    from .fullsys.closedloop import RetryPolicy
+
+    timeout, retries, backoff = flags
+    return RetryPolicy(
+        timeout=DEFAULT_RETRY.timeout if timeout is None else timeout,
+        retries=DEFAULT_RETRY.retries if retries is None else retries,
+        backoff=DEFAULT_RETRY.backoff if backoff is None else backoff,
+        seed=DEFAULT_RETRY.seed,
+    )
+
+
 def cmd_run(args) -> int:
     import time
 
@@ -336,7 +358,12 @@ def cmd_run(args) -> int:
         except KeyError as exc:
             raise SystemExit(exc.args[0])
         t0 = time.time()
-        result = spec.run(runner, fast=not args.full)
+        kw = {}
+        if name == "recovery":
+            retry = _retry_policy(args)
+            if retry is not None:
+                kw["retry"] = retry
+        result = spec.run(runner, fast=not args.full, **kw)
         text = spec.summarize(result)
         chunks.append(text)
         print(text)
@@ -542,6 +569,17 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--full", action="store_true",
                      help="full-budget sweeps (slow)")
     run.add_argument("--out", default=None, help="also write summaries here")
+    run.add_argument("--timeout", type=int, default=None, metavar="CYCLES",
+                     help="[recovery] request timeout before a retry fires "
+                          "(default 192; must clear the congested "
+                          "steady-state round trip or retransmissions "
+                          "amplify into congestion collapse)")
+    run.add_argument("--retries", type=int, default=None, metavar="N",
+                     help="[recovery] retry budget per request; a request "
+                          "that exhausts it counts as failed (default 6)")
+    run.add_argument("--backoff", type=int, default=None, metavar="CYCLES",
+                     help="[recovery] exponential-backoff base delay "
+                          "between attempts (default 16)")
     _add_runner_flags(run)
     run.set_defaults(fn=cmd_run)
 

@@ -439,6 +439,16 @@ def _summarize_robustness(res):
     return res.format_table()
 
 
+def _run_recovery(runner, fast, **kw):
+    from .recovery import recovery_grid
+
+    return recovery_grid(runner=runner, fast=fast, **kw)
+
+
+def _summarize_recovery(res):
+    return res.format_table()
+
+
 EXPERIMENTS: Dict[str, ExperimentSpec] = {
     spec.name: spec
     for spec in (
@@ -491,6 +501,11 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
             "robustness",
             "fault x traffic scenario grid: worst-case degradation ranking",
             _run_robustness, _summarize_robustness,
+        ),
+        ExperimentSpec(
+            "recovery",
+            "closed-loop fault flaps: time-to-drain / latency settling",
+            _run_recovery, _summarize_recovery,
         ),
         ExperimentSpec(
             "report", "full generated experiment report (EXPERIMENTS.md body)",

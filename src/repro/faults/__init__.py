@@ -9,7 +9,7 @@ from .schedule import (
     central_router_fault,
     parse_faults,
 )
-from .timeline import FaultEpoch, FaultTimeline
+from .timeline import FaultEpoch, FaultTimeline, recovery_points
 
 __all__ = [
     "FAULT_KINDS",
@@ -20,5 +20,6 @@ __all__ = [
     "central_link_faults",
     "central_router_fault",
     "parse_faults",
+    "recovery_points",
     "survivor_table",
 ]

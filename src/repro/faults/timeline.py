@@ -103,3 +103,18 @@ class FaultTimeline:
             cached = cls(table, schedule)
             memo[key] = cached
         return cached
+
+
+def recovery_points(schedule: FaultSchedule) -> Tuple:
+    """The (first fault, last repair) cycle pair of a schedule.
+
+    ``fault_cycle`` is the earliest ``*_down`` event and
+    ``recovery_cycle`` the latest ``*_up`` event — the reference points
+    the transient-recovery metrics measure from (baseline windows end
+    before ``fault_cycle``; drain/settling clocks start at
+    ``recovery_cycle``).  Either is ``None`` when the schedule has no
+    event of that direction.
+    """
+    downs = [e.cycle for e in schedule.events if e.kind.endswith("_down")]
+    ups = [e.cycle for e in schedule.events if e.kind.endswith("_up")]
+    return (min(downs) if downs else None, max(ups) if ups else None)

@@ -7,7 +7,9 @@ from .closedloop import (
     MEMORY_LATENCY_NS,
     ClosedLoopSimulator,
     ClosedLoopStats,
+    RetryPolicy,
     validate_closed_loop,
+    validate_closed_loop_faults,
 )
 from .fastloop import (
     CLOSED_ENGINES,
@@ -31,6 +33,8 @@ __all__ = [
     "CLOSED_ENGINES",
     "resolve_closed_loop_engine",
     "validate_closed_loop",
+    "validate_closed_loop_faults",
+    "RetryPolicy",
     "ClosedLoopStats",
     "DIRECTORY_LATENCY_NS",
     "MEMORY_LATENCY_NS",

@@ -16,20 +16,45 @@ the structure of the paper's full-system traffic (Table IV):
 The measured quantity is the mean request round-trip — the "average
 packet delay of coherence and memory traffic" the paper reports — which
 :mod:`repro.fullsys.speedup` converts into execution-time speedups.
+
+Fault tolerance
+---------------
+
+With a :class:`RetryPolicy`, every request is a *transaction* tracked
+from issue to completion or failure:
+
+* ``IN_NET``: a request (or its reply) is traveling, with a timeout
+  deadline armed at (re)transmission time;
+* ``BACKOFF``: the last attempt timed out (or the packet was dropped by
+  a fault-epoch swap, or the flow was unroutable at injection time); the
+  transaction waits out a randomized exponential backoff before
+  retransmitting.
+
+Backoff delays come from a *dedicated* RNG stream seeded by the policy —
+never the packet-draw stream — mirroring the burst gate-chain contract,
+so a degraded run's demand draws match the pristine run's bit for bit.
+A transaction that exhausts its retry budget counts as failed and frees
+its MLP slot; conservation (``issued == completed + failed +
+in-flight``) is asserted at the end of every run.  Both engines (this
+reference and :class:`~repro.fullsys.fastloop.FastClosedLoopSimulator`)
+share the machinery below via :class:`ClosedLoopRetryCore` and stay
+bit-identical under fault schedules (``tests/test_closedloop_faults.py``).
 """
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from heapq import heappop, heappush
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..routing.tables import RoutingTable
 from ..sim.network import NetworkSimulator
 from ..sim.packet import CONTROL_FLITS, DATA_FLITS, Packet
+from ..sim.stats import WindowSample
 from ..sim.traffic import TrafficPattern
+from .config import TABLE4
 
 #: Service latency (ns) at the destination before the reply; wall-clock
 #: quantities so the NoI clock class does not distort directory/DRAM time.
@@ -38,6 +63,90 @@ MEMORY_LATENCY_NS = 14.0
 #: CDC + NoC traversal charged per NoI hop pair in full-system mode.
 CDC_LATENCY = 2
 
+#: Transaction states (``txn`` value index ``_T_STATE``).
+_IN_NET = 0
+_BACKOFF = 1
+
+#: ``txn`` value layout: [node, dst, is_mem, birth, attempt, state].
+_T_NODE, _T_DST, _T_MEM, _T_BIRTH, _T_ATTEMPT, _T_STATE = range(6)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Timeout/retry/backoff semantics for closed-loop requests.
+
+    A request whose reply has not returned within ``timeout`` cycles of
+    its (re)transmission times out.  Up to ``retries`` retransmissions
+    are attempted; attempt ``a`` first waits a uniform random backoff of
+    ``1 .. backoff * 2**(a-1)`` cycles drawn from a dedicated RNG stream
+    seeded by ``seed`` — never from the packet-draw stream (the same
+    isolation contract as the burst gate chain), so retry timing cannot
+    perturb demand draws.  A transaction that exhausts the budget counts
+    as ``failed_requests`` and releases its MLP slot.
+    """
+
+    timeout: int = TABLE4.request_timeout_cycles
+    retries: int = TABLE4.request_max_retries
+    backoff: int = TABLE4.retry_backoff_cycles
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.timeout < 1:
+            raise ValueError(
+                f"retry timeout must be >= 1 cycle, got {self.timeout!r}"
+            )
+        if self.retries < 0:
+            raise ValueError(
+                f"retry budget must be >= 0, got {self.retries!r}"
+            )
+        if self.backoff < 1:
+            raise ValueError(
+                f"retry backoff base must be >= 1 cycle, got {self.backoff!r}"
+            )
+
+    # -- (de)serialization (runner payloads) --------------------------------
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "timeout": self.timeout,
+            "retries": self.retries,
+            "backoff": self.backoff,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "RetryPolicy":
+        return cls(
+            timeout=int(d["timeout"]),
+            retries=int(d["retries"]),
+            backoff=int(d["backoff"]),
+            seed=int(d.get("seed", 0)),
+        )
+
+    def key(self) -> tuple:
+        return (self.timeout, self.retries, self.backoff, self.seed)
+
+
+def validate_closed_loop_faults(faults, retry) -> None:
+    """Reject the one unsupported combination: faults without retries.
+
+    A non-empty :class:`~repro.faults.FaultSchedule` requires a
+    :class:`RetryPolicy`: an epoch swap can drop in-flight requests or
+    replies, and without timeout/retry semantics those transactions
+    would hold their MLP slots forever.  Shared by both engines and the
+    runner payload builders/decoders, so the combination fails with the
+    same error everywhere — before any simulation runs.
+    """
+    if faults is None or not getattr(faults, "events", ()):
+        return
+    if retry is None:
+        raise ValueError(
+            "closed-loop simulation with a fault schedule requires a "
+            "RetryPolicy: an epoch swap can drop in-flight requests or "
+            "replies, and without timeout/retry semantics those "
+            "transactions would hang forever.  Pass retry=RetryPolicy(...) "
+            "(CLI: --timeout/--retries/--backoff) or drop faults=."
+        )
+
 
 def validate_closed_loop(
     n: int,
@@ -45,6 +154,8 @@ def validate_closed_loop(
     memory_fraction: float,
     mc_routers: Sequence[int],
     mlp_per_node: int,
+    faults=None,
+    retry: Optional[RetryPolicy] = None,
 ) -> None:
     """Reject closed-loop configurations that would crash or mis-draw.
 
@@ -52,7 +163,9 @@ def validate_closed_loop(
     memory-target draw picks uniformly from ``mc_routers`` minus the
     source, so every router must be left with at least one candidate —
     an empty MC list (or a single MC drawing its own traffic) used to
-    surface as an opaque ``integers(0)`` crash mid-simulation.
+    surface as an opaque ``integers(0)`` crash mid-simulation.  The
+    ``faults``/``retry`` pair is checked by
+    :func:`validate_closed_loop_faults`.
     """
     if not 0.0 <= demand_rate < 1.0:
         raise ValueError(
@@ -86,16 +199,27 @@ def validate_closed_loop(
             f"{memory_fraction}); provide a second MC or set "
             f"memory_fraction=0"
         )
+    validate_closed_loop_faults(faults, retry)
 
 
 @dataclass
 class ClosedLoopStats:
-    """Round-trip statistics from one closed-loop run."""
+    """Round-trip statistics from one closed-loop run.
+
+    The retry counters cover the *whole* run (warmup included — failures
+    and retries are lifecycle events, not steady-state samples), while
+    ``completed_requests``/``rtt_sum`` remain measurement-window
+    quantities as before.
+    """
 
     cycles: int
     completed_requests: int
     rtt_sum: float
     n_nodes: int
+    issued_requests: int = 0
+    failed_requests: int = 0
+    retried_requests: int = 0
+    in_flight_requests: int = 0
 
     @property
     def avg_round_trip_cycles(self) -> float:
@@ -107,8 +231,215 @@ class ClosedLoopStats:
     def request_throughput(self) -> float:
         return self.completed_requests / (self.n_nodes * self.cycles)
 
+    @property
+    def failed_fraction(self) -> float:
+        """Failed transactions as a fraction of all issued ones."""
+        if self.issued_requests == 0:
+            return 0.0
+        return self.failed_requests / self.issued_requests
 
-class ClosedLoopSimulator(NetworkSimulator):
+
+class ClosedLoopRetryCore:
+    """Transaction machinery shared by both closed-loop engines.
+
+    The engines differ only in how they move packets; everything about a
+    transaction's lifecycle — issue, timeout, backoff, retransmission,
+    failure, completion, conservation — lives here so it cannot drift
+    between them.  Subclasses provide:
+
+    * ``_unroutable(node, dst)`` — can the *current* epoch's table route
+      the flow?
+    * ``_run_span(ncycles)`` — advance the underlying engine.
+
+    State: ``txn`` maps a transaction id to the mutable record
+    ``[node, dst, is_mem, birth, attempt, state]``; ``_deadline_q`` is a
+    heap of ``(deadline, tid, attempt)`` (entries whose attempt no
+    longer matches are stale and skipped — completion and retransmission
+    cancel deadlines lazily); ``_retry_q`` is a heap of ``(ready, tid)``
+    backoff releases.  Timeout scans, retransmission releases, drop
+    processing, and backoff draws all happen in deterministic (heap /
+    sorted-tid) order, so the dedicated retry RNG stream advances
+    identically in both engines.
+    """
+
+    def _init_closed_state(self, retry: Optional[RetryPolicy]) -> None:
+        self.retry = retry
+        self._retry_rng = (
+            np.random.default_rng(retry.seed) if retry is not None else None
+        )
+        self.txn: Dict[int, list] = {}
+        self._tid = 0
+        self._deadline_q: List[Tuple[int, int, int]] = []
+        self._retry_q: List[Tuple[int, int]] = []
+        self.issued = 0
+        self.completed_total = 0
+        self.failed = 0
+        self.retried = 0
+        self.outstanding = [0] * self.n
+        # Reference-ordered reply heap: (ready, requester, server, size,
+        # request_birth, tid) — identical tuples in both engines, so
+        # same-cycle releases pop identically.
+        self.pending_replies: List[Tuple[int, int, int, int, int, int]] = []
+        self.completed = 0
+        self.rtt_sum = 0.0
+        self._measure_rtts = False
+
+    # -- lifecycle ----------------------------------------------------------
+    def _timeout_txn(self, tid: int, t: list, cycle: int) -> None:
+        """Attempt ``t`` is gone (timeout, epoch drop, or unroutable):
+        either fail the transaction or park it in backoff."""
+        retry = self.retry
+        if retry is None or t[_T_ATTEMPT] >= retry.retries:
+            del self.txn[tid]
+            node = t[_T_NODE]
+            o = self.outstanding[node] - 1
+            self.outstanding[node] = o if o > 0 else 0
+            self.failed += 1
+            return
+        t[_T_ATTEMPT] += 1
+        t[_T_STATE] = _BACKOFF
+        self.retried += 1
+        u = self._retry_rng.random()
+        delay = 1 + int(u * retry.backoff * (1 << (t[_T_ATTEMPT] - 1)))
+        heappush(self._retry_q, (cycle + delay, tid))
+
+    def _defer_new(self, tid: int, cycle: int) -> None:
+        """A freshly issued request whose flow the degraded fabric cannot
+        route: park it in backoff *without* burning a retry attempt (it
+        was never injected), drawing the delay from the same dedicated
+        stream."""
+        self.txn[tid][_T_STATE] = _BACKOFF
+        u = self._retry_rng.random()
+        delay = 1 + int(u * self.retry.backoff)
+        heappush(self._retry_q, (cycle + delay, tid))
+
+    def _retry_tick(self, cycle: int) -> List[Tuple[int, int, int]]:
+        """Run one cycle's timeout scan and backoff releases.
+
+        Returns the ``(tid, node, dst)`` retransmissions to inject this
+        cycle, in deterministic heap order, with their new deadlines
+        already armed.  A release whose flow is (still) unroutable burns
+        an attempt and re-enters backoff — under a transient fault the
+        transaction survives to retry after recovery; under a permanent
+        one it converges to failure.
+        """
+        txn = self.txn
+        dq = self._deadline_q
+        while dq and dq[0][0] <= cycle:
+            _, tid, attempt = heappop(dq)
+            t = txn.get(tid)
+            if t is None or t[_T_ATTEMPT] != attempt or t[_T_STATE] != _IN_NET:
+                continue  # stale deadline: completed, failed, or retried
+            self._timeout_txn(tid, t, cycle)
+        out: List[Tuple[int, int, int]] = []
+        rq = self._retry_q
+        retry = self.retry
+        while rq and rq[0][0] <= cycle:
+            _, tid = heappop(rq)
+            t = txn.get(tid)
+            if t is None:
+                continue  # completed while in backoff (late reply)
+            node, dst = t[_T_NODE], t[_T_DST]
+            if self._unroutable(node, dst):
+                self._timeout_txn(tid, t, cycle)
+                continue
+            t[_T_STATE] = _IN_NET
+            heappush(dq, (cycle + retry.timeout, tid, t[_T_ATTEMPT]))
+            out.append((tid, node, dst))
+        return out
+
+    def _fail_or_retry_dropped(self, tids, cycle: int) -> None:
+        """Route transactions whose packet a fault-epoch swap dropped
+        into the retry path.  Processing in ascending-tid order decouples
+        the retry RNG stream from the engines' queue-walk order."""
+        txn = self.txn
+        for tid in sorted(set(tids)):
+            t = txn.get(tid)
+            if t is None or t[_T_STATE] != _IN_NET:
+                continue  # already in backoff (only a stale packet died)
+            self._timeout_txn(tid, t, cycle)
+
+    # -- invariants and results ---------------------------------------------
+    def _check_conservation(self) -> None:
+        """``issued == completed + failed + in-flight`` and every live
+        transaction holds exactly one MLP slot."""
+        live = len(self.txn)
+        held = sum(self.outstanding)
+        if (
+            self.issued != self.completed_total + self.failed + live
+            or held != live
+        ):
+            raise RuntimeError(
+                f"closed-loop request conservation violated: "
+                f"issued={self.issued} != completed={self.completed_total} "
+                f"+ failed={self.failed} + in-flight={live} "
+                f"(MLP slots held: {held})"
+            )
+
+    def _closed_stats(self, measure: int) -> ClosedLoopStats:
+        return ClosedLoopStats(
+            cycles=measure,
+            completed_requests=self.completed,
+            rtt_sum=self.rtt_sum,
+            n_nodes=self.n,
+            issued_requests=self.issued,
+            failed_requests=self.failed,
+            retried_requests=self.retried,
+            in_flight_requests=len(self.txn),
+        )
+
+    def _run_span(self, ncycles: int) -> None:
+        raise NotImplementedError
+
+    def _unroutable(self, node: int, dst: int) -> bool:
+        raise NotImplementedError
+
+    # -- public API ---------------------------------------------------------
+    def run_closed_loop(self, warmup: int, measure: int) -> ClosedLoopStats:
+        self._run_span(warmup)
+        self._measure_rtts = True
+        self._run_span(measure)
+        self._measure_rtts = False
+        self._check_conservation()
+        return self._closed_stats(measure)
+
+    def run_windows(self, total: int, window: int) -> List[WindowSample]:
+        """Advance ``total`` cycles, sampling cumulative counters every
+        ``window`` cycles — the input to
+        :func:`repro.sim.stats.recovery_metrics`.  RTT measurement is on
+        for the whole span (transient windows are the point)."""
+        if window < 1:
+            raise ValueError(f"window must be >= 1 cycle, got {window!r}")
+        samples: List[WindowSample] = []
+        self._measure_rtts = True
+        done = 0
+        while done < total:
+            w = min(window, total - done)
+            start = self.cycle
+            i0 = self.issued
+            c0 = self.completed
+            f0 = self.failed
+            r0 = self.retried
+            rtt0 = self.rtt_sum
+            self._run_span(w)
+            done += w
+            samples.append(WindowSample(
+                start=start,
+                end=self.cycle,
+                issued=self.issued - i0,
+                completed=self.completed - c0,
+                failed=self.failed - f0,
+                retried=self.retried - r0,
+                rtt_sum=self.rtt_sum - rtt0,
+                backlog=sum(self.outstanding),
+                net_in_flight=self.in_flight,
+            ))
+        self._measure_rtts = False
+        self._check_conservation()
+        return samples
+
+
+class ClosedLoopSimulator(ClosedLoopRetryCore, NetworkSimulator):
     """Request/response simulation with bounded outstanding requests."""
 
     def __init__(
@@ -121,9 +452,11 @@ class ClosedLoopSimulator(NetworkSimulator):
         mc_routers: Optional[List[int]] = None,
         noi_clock_ghz: float = 3.0,
         seed: int = 0,
+        retry: Optional[RetryPolicy] = None,
         **sim_kw,
     ):
         sim_kw.setdefault("extra_hop_latency", CDC_LATENCY)
+        faults = sim_kw.get("faults")
         super().__init__(table, traffic, injection_rate=0.0, seed=seed, **sim_kw)
         self.demand_rate = float(demand_rate)
         self.mlp = int(mlp_per_node)
@@ -134,21 +467,46 @@ class ClosedLoopSimulator(NetworkSimulator):
         )
         validate_closed_loop(
             self.n, self.demand_rate, self.memory_fraction,
-            self.mc_routers, self.mlp,
+            self.mc_routers, self.mlp, faults=faults, retry=retry,
         )
         # service delays are wall-clock; convert to this NoI's cycles
         self.directory_cycles = max(1, int(round(DIRECTORY_LATENCY_NS * noi_clock_ghz)))
         self.memory_cycles = max(1, int(round(MEMORY_LATENCY_NS * noi_clock_ghz)))
-        self.outstanding = [0] * self.n
-        self.request_birth = {}
-        # (ready_cycle, dst_of_reply, src_router_serving, size, req_birth)
-        self.pending_replies: List[Tuple[int, int, int, int, int]] = []
-        self.completed = 0
-        self.rtt_sum = 0.0
-        self._measure_rtts = False
+        self._init_closed_state(retry)
 
-    # -- demand-driven request injection -----------------------------------------
+    # -- engine adapters ----------------------------------------------------
+    def _unroutable(self, node: int, dst: int) -> bool:
+        return (node, dst) not in self.table.flow_vc
+
+    def _run_span(self, ncycles: int) -> None:
+        for _ in range(ncycles):
+            self.step()
+
+    def _send_request(self, node: int, dst: int, tid: int) -> None:
+        """Inject one request (or retransmission) for transaction ``tid``."""
+        pkt = Packet(
+            pid=self._pid,
+            src=node,
+            dst=dst,
+            size_flits=CONTROL_FLITS,
+            birth_cycle=self.txn[tid][_T_BIRTH],
+            vc=self.table.vc(node, dst),
+            tid=tid,
+        )
+        self._pid += 1
+        self.source_q[node].append(pkt)
+        self.in_flight += 1
+
+    # -- demand-driven request injection ------------------------------------
     def _generate(self) -> None:
+        cycle = self.cycle
+        retry = self.retry
+        if retry is not None:
+            # Timeouts, then backoff releases: retransmissions enter a
+            # node's source queue ahead of its same-cycle fresh demand.
+            for tid, node, dst in self._retry_tick(cycle):
+                self._send_request(node, dst, tid)
+        faulty = self._faulty
         for node in range(self.n):
             if self.outstanding[node] >= self.mlp:
                 continue
@@ -160,31 +518,41 @@ class ClosedLoopSimulator(NetworkSimulator):
                 dst = choices[int(self.rng.integers(len(choices)))]
             else:
                 dst = self.traffic.destination(node, self.rng)
-            pkt = Packet(
-                pid=self._pid,
-                src=node,
-                dst=dst,
-                size_flits=CONTROL_FLITS,
-                birth_cycle=self.cycle,
-                vc=self.table.vc(node, dst),
-            )
-            self._pid += 1
-            self.source_q[node].append(pkt)
+            tid = self._tid
+            self._tid += 1
+            self.txn[tid] = [node, dst, 1 if is_mem else 0, cycle, 0, _IN_NET]
+            self.issued += 1
             self.outstanding[node] += 1
-            self.in_flight += 1
-            self.request_birth[pkt.pid] = (pkt.birth_cycle, is_mem)
+            if faulty and self._unroutable(node, dst):
+                # The degraded table cannot carry the flow (dead source,
+                # dead target, or partition): all draws were made, so the
+                # packet-RNG stream matches a pristine run, but the
+                # request defers into backoff instead of injecting.
+                self._defer_new(tid, cycle)
+                continue
+            self._send_request(node, dst, tid)
+            if retry is not None:
+                heappush(self._deadline_q, (cycle + retry.timeout, tid, 0))
 
         # release matured replies into their servers' source queues
-        while self.pending_replies and self.pending_replies[0][0] <= self.cycle:
-            _, dst, server, size, req_birth = heapq.heappop(self.pending_replies)
+        while self.pending_replies and self.pending_replies[0][0] <= cycle:
+            _, rdst, server, size, req_birth, tid = heappop(self.pending_replies)
+            if faulty and self._unroutable(server, rdst):
+                # The server (or the path home) died while serving: the
+                # reply cannot be sent — time the attempt out.
+                t = self.txn.get(tid)
+                if t is not None and t[_T_STATE] == _IN_NET:
+                    self._timeout_txn(tid, t, cycle)
+                continue
             pkt = Packet(
                 pid=self._pid,
                 src=server,
-                dst=dst,
+                dst=rdst,
                 size_flits=size,
                 birth_cycle=req_birth,  # RTT measured from request birth
-                vc=self.table.vc(server, dst),
+                vc=self.table.vc(server, rdst),
                 is_data=True,
+                tid=tid,
             )
             self._pid += 1
             self.source_q[server].append(pkt)
@@ -192,34 +560,47 @@ class ClosedLoopSimulator(NetworkSimulator):
 
     def _on_eject(self, pkt: Packet) -> None:
         if not pkt.is_data:
-            # request arrived at its home node: schedule the data reply
-            meta = self.request_birth.pop(pkt.pid, None)
-            birth, is_mem = meta if meta else (pkt.birth_cycle, False)
-            service = self.memory_cycles if is_mem else self.directory_cycles
-            heapq.heappush(
+            # request arrived at its home node: schedule the data reply.
+            # (A stale retransmission artifact — its transaction already
+            # failed, completed, or re-entered backoff — generates none.)
+            t = self.txn.get(pkt.tid)
+            if t is None or t[_T_STATE] != _IN_NET:
+                return
+            service = self.memory_cycles if t[_T_MEM] else self.directory_cycles
+            heappush(
                 self.pending_replies,
-                (self.cycle + service, pkt.src, pkt.dst, DATA_FLITS, birth),
+                (
+                    self.cycle + service,
+                    t[_T_NODE],  # requester (pkt.src is re-keyed by epochs)
+                    pkt.dst,
+                    DATA_FLITS,
+                    t[_T_BIRTH],
+                    pkt.tid,
+                ),
             )
         else:
             # reply came home: request complete.  (``_eject`` already
             # decremented ``in_flight`` for the reply packet itself.)
+            t = self.txn.pop(pkt.tid, None)
+            if t is None:
+                return  # duplicate reply of an already-retired transaction
             node = pkt.dst
             self.outstanding[node] = max(0, self.outstanding[node] - 1)
+            self.completed_total += 1
             if self._measure_rtts:
                 self.completed += 1
                 self.rtt_sum += self.cycle - pkt.birth_cycle
 
-    def run_closed_loop(self, warmup: int, measure: int) -> ClosedLoopStats:
-        for _ in range(warmup):
-            self.step()
-        self._measure_rtts = True
-        start = self.cycle
-        for _ in range(measure):
-            self.step()
-        self._measure_rtts = False
-        return ClosedLoopStats(
-            cycles=measure,
-            completed_requests=self.completed,
-            rtt_sum=self.rtt_sum,
-            n_nodes=self.n,
-        )
+    # -- fault epochs --------------------------------------------------------
+    def _apply_epoch(self, epoch) -> None:
+        """Epoch swap + drop recovery: packets the new network cannot
+        carry route their transactions into the retry path instead of
+        being silently lost."""
+        log: List[Packet] = []
+        self._drop_log = log
+        try:
+            super()._apply_epoch(epoch)
+        finally:
+            self._drop_log = None
+        if log:
+            self._fail_or_retry_dropped((pkt.tid for pkt in log), self.cycle)

@@ -45,6 +45,17 @@ class FullSystemConfig:
     # a directory service delay; see repro.fullsys.closedloop).
     protocol: str = "MESI Two Level"
 
+    # Request timeout/retry defaults for degraded (faulty) closed-loop
+    # runs: a request whose reply misses the timeout is retransmitted up
+    # to ``request_max_retries`` times with exponential backoff (the
+    # base delay doubles per attempt).  The timeout comfortably exceeds
+    # the worst pristine round trip of every Table IV topology at the
+    # budgets the experiments run, so retries fire on faults and extreme
+    # congestion, not steady-state traffic.
+    request_timeout_cycles: int = 96
+    request_max_retries: int = 5
+    retry_backoff_cycles: int = 8
+
     @property
     def num_cores(self) -> int:
         return self.num_chiplets * self.cores_per_chiplet

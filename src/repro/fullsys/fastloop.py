@@ -4,9 +4,10 @@
 ClosedLoopSimulator` what :class:`~repro.sim.fastnet.FastNetworkSimulator`
 is to the reference open-loop engine: identical cycle-level semantics,
 identical RNG draw order, bit-identical :class:`~repro.fullsys.closedloop.
-ClosedLoopStats` (pinned by the differential suite in
-``tests/test_fastloop.py``) — built on the same compiled-network flat
-arrays and worklist/sleep arbitration machinery.
+ClosedLoopStats` (pinned by the differential suites in
+``tests/test_fastloop.py`` and ``tests/test_closedloop_faults.py``) —
+built on the same compiled-network flat arrays and worklist/sleep
+arbitration machinery.
 
 Closed-loop traffic cannot be trace-fed: whether a router draws at all
 on a given cycle depends on its outstanding-request count, which depends
@@ -14,12 +15,13 @@ on every earlier arbitration decision.  The injection stream is instead
 generated cycle-by-cycle through two narrow hooks the fast engine's
 fused loop exposes:
 
-* ``_closed_gen`` replaces the generation block with demand-driven
-  request injection (per-router MLP budget, memory-vs-directory target
-  split, destination draws) plus the release of matured replies from a
-  service-latency heap;
-* ``_closed_eject`` observes every ejection: a request schedules its
-  data reply after the directory/memory service latency; a returning
+* ``_closed_gen`` replaces the generation block with the retry tick
+  (timeout scan, backoff releases, retransmissions) followed by
+  demand-driven request injection (per-router MLP budget,
+  memory-vs-directory target split, destination draws) and the release
+  of matured replies from a service-latency heap;
+* ``_closed_eject`` observes every ejection: a live request schedules
+  its data reply after the directory/memory service latency; a returning
   reply retires the transaction, releases the router's MLP slot, and
   accounts the round trip.
 
@@ -33,21 +35,28 @@ Lemire-32 over the half-word stream with the bit generator's
 ``has_uint32`` cache tracked arithmetically — plain Python integer ops
 instead of per-draw Generator dispatch.  Spec-less custom patterns fall
 back to real Generator calls (still bit-identical, just slower).
+Backoff delays come from the policy's *dedicated* RNG
+(:class:`~repro.fullsys.closedloop.RetryPolicy`), so the retry machinery
+never perturbs the replayed packet-draw stream.
 
 Packets ride the fast engine's 6-tuple records; the closed-loop
-metadata lives in the birth field (requests encode
-``birth << 1 | is_mem`` — decoded at ejection to pick the service
-latency — replies carry the request's birth cycle verbatim for RTT
-accounting), and the record's flit size distinguishes the two classes
+metadata lives in the birth field.  Requests encode
+``tid << 33 | birth << 1 | is_mem`` and replies ``tid << 32 | birth``
+(birth cycles fit 32 bits by a huge margin) — the transaction id is
+what survives fault-epoch swaps, timeout retransmissions, and stale
+duplicates, while the record's flit size distinguishes the two classes
 (requests are 1-flit control, replies 9-flit data).  Reply-heap tuples
 are ordered exactly as the reference's, so same-cycle releases pop in
-the same order.
+the same order.  Fault epochs run through the open-loop engine's
+``_advance`` segmentation; the ``_apply_epoch`` override collects the
+canonical walk's dropped records and feeds their transactions to the
+shared retry path in sorted-tid order.
 """
 
 from __future__ import annotations
 
 from heapq import heappop, heappush
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from ..routing.tables import RoutingTable
 from ..sim.fastnet import CompiledNetwork, FastNetworkSimulator
@@ -55,11 +64,17 @@ from ..sim.packet import CONTROL_FLITS, DATA_FLITS
 from ..sim.rngstream import DOUBLE_SCALE, take_raw
 from ..sim.traffic import TrafficPattern
 from .closedloop import (
+    _IN_NET,
+    _T_BIRTH,
+    _T_MEM,
+    _T_NODE,
     CDC_LATENCY,
     DIRECTORY_LATENCY_NS,
     MEMORY_LATENCY_NS,
+    ClosedLoopRetryCore,
     ClosedLoopSimulator,
     ClosedLoopStats,
+    RetryPolicy,
     validate_closed_loop,
 )
 
@@ -72,8 +87,12 @@ _WORD_CHUNK = 4096
 _U32 = 0xFFFFFFFF
 
 
-class FastClosedLoopSimulator(FastNetworkSimulator):
+class FastClosedLoopSimulator(ClosedLoopRetryCore, FastNetworkSimulator):
     """Flat-array drop-in for :class:`ClosedLoopSimulator` (same stats)."""
+
+    #: Construction validates that any fault schedule comes with a
+    #: RetryPolicy, so the fused loop's epoch segmentation is safe here.
+    _closed_faults = True
 
     def __init__(
         self,
@@ -85,10 +104,12 @@ class FastClosedLoopSimulator(FastNetworkSimulator):
         mc_routers: Optional[List[int]] = None,
         noi_clock_ghz: float = 3.0,
         seed: int = 0,
+        retry: Optional[RetryPolicy] = None,
         compiled: Optional[CompiledNetwork] = None,
         **sim_kw,
     ):
         sim_kw.setdefault("extra_hop_latency", CDC_LATENCY)
+        faults = sim_kw.get("faults")
         super().__init__(
             table, traffic, injection_rate=0.0, seed=seed,
             compiled=compiled, **sim_kw,
@@ -102,7 +123,7 @@ class FastClosedLoopSimulator(FastNetworkSimulator):
         )
         validate_closed_loop(
             self.n, self.demand_rate, self.memory_fraction,
-            self.mc_routers, self.mlp,
+            self.mc_routers, self.mlp, faults=faults, retry=retry,
         )
         self.directory_cycles = max(
             1, int(round(DIRECTORY_LATENCY_NS * noi_clock_ghz))
@@ -110,13 +131,7 @@ class FastClosedLoopSimulator(FastNetworkSimulator):
         self.memory_cycles = max(
             1, int(round(MEMORY_LATENCY_NS * noi_clock_ghz))
         )
-        self.outstanding = [0] * self.n
-        # Reference-ordered reply heap: (ready, reply_dst, server, size,
-        # request_birth) — identical tuples, identical tie-breaks.
-        self.pending_replies: List[Tuple[int, int, int, int, int]] = []
-        self.completed = 0
-        self.rtt_sum = 0.0
-        self._measure_rtts = False
+        self._init_closed_state(retry)
 
         n = self.n
         # Per-source memory-target rows (the reference rebuilds
@@ -158,16 +173,53 @@ class FastClosedLoopSimulator(FastNetworkSimulator):
             self._closed_gen = self._generate_emulated
         self._closed_eject = self._eject_closed
 
+    # -- engine adapters -------------------------------------------------------
+    def _unroutable(self, node: int, dst: int) -> bool:
+        return not self.flow_ok[node * self.n + dst]
+
+    def _run_span(self, ncycles: int) -> None:
+        self._advance(ncycles)
+
+    def _retransmit(self, cycle, pending, in_flight, pid):
+        """Inject this cycle's backoff releases (cold path: only entered
+        when the retry heaps have matured entries)."""
+        txn = self.txn
+        source_q = self.source_q
+        vc_of = self.vc_of
+        inj_key = self.inj_key
+        n = self.n
+        for tid, node, dst in self._retry_tick(cycle):
+            t = txn[tid]
+            f = node * n + dst
+            source_q[node].append((
+                vc_of[f], inj_key[f], CONTROL_FLITS, dst,
+                (tid << 33) | (t[_T_BIRTH] << 1) | t[_T_MEM],
+            ))
+            pending |= 1 << node
+            in_flight += 1
+            pid += 1
+        return pending, in_flight, pid
+
     # -- generation hooks ------------------------------------------------------
     def _generate_emulated(self, cycle, pending, in_flight, pid):
         """Demand-driven injection, draws replayed from raw PCG64 words.
 
-        Per eligible router, in ascending index order (the reference's
-        ``_generate`` loop): one demand double; on a win one
-        memory-fraction double, then either a bounded draw over the
-        router's MC row or the pattern's destination recipe.  Matured
-        replies release afterwards, exactly as the reference orders it.
+        The retry tick runs first (retransmissions precede a node's
+        same-cycle fresh demand — the reference's ``_generate`` order),
+        then per eligible router, in ascending index order: one demand
+        double; on a win one memory-fraction double, then either a
+        bounded draw over the router's MC row or the pattern's
+        destination recipe.  Matured replies release afterwards, exactly
+        as the reference orders it.
         """
+        retry = self.retry
+        if retry is not None and (
+            (self._deadline_q and self._deadline_q[0][0] <= cycle)
+            or (self._retry_q and self._retry_q[0][0] <= cycle)
+        ):
+            pending, in_flight, pid = self._retransmit(
+                cycle, pending, in_flight, pid
+            )
         words = self._words
         wlen = len(words)
         pos = self._wpos
@@ -193,6 +245,13 @@ class FastClosedLoopSimulator(FastNetworkSimulator):
         uni_thresh = self._uni_thresh
         scale = DOUBLE_SCALE
         req_size = CONTROL_FLITS
+        txn = self.txn
+        tid_c = self._tid
+        issued = self.issued
+        faulty = self._faulty
+        flow_ok = self.flow_ok
+        dq = self._deadline_q
+        timeout = retry.timeout if retry is not None else 0
 
         for node in range(n):
             if outstanding[node] >= mlp:
@@ -279,19 +338,33 @@ class FastClosedLoopSimulator(FastNetworkSimulator):
                     dst = val if val < node else val + 1
                 else:
                     dst = row[val]
+            tid = tid_c
+            tid_c += 1
+            txn[tid] = [node, dst, is_mem, cycle, 0, 0]  # 0 == _IN_NET
+            issued += 1
+            outstanding[node] += 1
+            if faulty and not flow_ok[node * n + dst]:
+                # Unroutable under the degraded table: defer to backoff
+                # (all draws already made — the stream stays pristine).
+                self._defer_new(tid, cycle)
+                continue
             f = node * n + dst
             source_q[node].append(
-                (vc_of[f], inj_key[f], req_size, dst, (cycle << 1) | is_mem)
+                (vc_of[f], inj_key[f], req_size, dst,
+                 (tid << 33) | (cycle << 1) | is_mem)
             )
             pending |= 1 << node
-            outstanding[node] += 1
             in_flight += 1
             pid += 1
+            if retry is not None:
+                heappush(dq, (cycle + timeout, tid, 0))
 
         self._words = words
         self._wpos = pos
         self._whas = h
         self._wval = hv
+        self._tid = tid_c
+        self.issued = issued
 
         replies = self.pending_replies
         if replies and replies[0][0] <= cycle:
@@ -302,6 +375,14 @@ class FastClosedLoopSimulator(FastNetworkSimulator):
         """Spec-less custom patterns: the same loop over real Generator
         calls (``random()``/``integers``/``dest_fn``) — bit-identical by
         construction, without the raw-word savings."""
+        retry = self.retry
+        if retry is not None and (
+            (self._deadline_q and self._deadline_q[0][0] <= cycle)
+            or (self._retry_q and self._retry_q[0][0] <= cycle)
+        ):
+            pending, in_flight, pid = self._retransmit(
+                cycle, pending, in_flight, pid
+            )
         rng = self.rng
         rng_random = rng.random
         rng_integers = rng.integers
@@ -316,6 +397,13 @@ class FastClosedLoopSimulator(FastNetworkSimulator):
         n = self.n
         mc_rows = self._mc_rows
         req_size = CONTROL_FLITS
+        txn = self.txn
+        tid_c = self._tid
+        issued = self.issued
+        faulty = self._faulty
+        flow_ok = self.flow_ok
+        dq = self._deadline_q
+        timeout = retry.timeout if retry is not None else 0
 
         for node in range(n):
             if outstanding[node] >= mlp:
@@ -329,14 +417,27 @@ class FastClosedLoopSimulator(FastNetworkSimulator):
             else:
                 is_mem = 0
                 dst = dest(node, rng)
+            tid = tid_c
+            tid_c += 1
+            txn[tid] = [node, dst, is_mem, cycle, 0, 0]  # 0 == _IN_NET
+            issued += 1
+            outstanding[node] += 1
+            if faulty and not flow_ok[node * n + dst]:
+                self._defer_new(tid, cycle)
+                continue
             f = node * n + dst
             source_q[node].append(
-                (vc_of[f], inj_key[f], req_size, dst, (cycle << 1) | is_mem)
+                (vc_of[f], inj_key[f], req_size, dst,
+                 (tid << 33) | (cycle << 1) | is_mem)
             )
             pending |= 1 << node
-            outstanding[node] += 1
             in_flight += 1
             pid += 1
+            if retry is not None:
+                heappush(dq, (cycle + timeout, tid, 0))
+
+        self._tid = tid_c
+        self.issued = issued
 
         replies = self.pending_replies
         if replies and replies[0][0] <= cycle:
@@ -347,16 +448,28 @@ class FastClosedLoopSimulator(FastNetworkSimulator):
         """Move matured replies into their servers' source queues, after
         the cycle's request injection — the reference's ``_generate``
         order.  Callers guard on the heap head, so the common no-reply
-        cycle never pays the call."""
+        cycle never pays the call.  Under faults, a reply whose server
+        died (or whose path home vanished) times its transaction out
+        instead of injecting."""
         replies = self.pending_replies
         source_q = self.source_q
         vc_of = self.vc_of
         inj_key = self.inj_key
         n = self.n
+        faulty = self._faulty
+        flow_ok = self.flow_ok
+        txn = self.txn
         while replies and replies[0][0] <= cycle:
-            _, rdst, server, size, birth = heappop(replies)
+            _, rdst, server, size, birth, tid = heappop(replies)
+            if faulty and not flow_ok[server * n + rdst]:
+                t = txn.get(tid)
+                if t is not None and t[5] == _IN_NET:
+                    self._timeout_txn(tid, t, cycle)
+                continue
             f = server * n + rdst
-            source_q[server].append((vc_of[f], inj_key[f], size, rdst, birth))
+            source_q[server].append(
+                (vc_of[f], inj_key[f], size, rdst, (tid << 32) | birth)
+            )
             pending |= 1 << server
             in_flight += 1
             pid += 1
@@ -364,44 +477,63 @@ class FastClosedLoopSimulator(FastNetworkSimulator):
 
     # -- ejection hook ---------------------------------------------------------
     def _eject_closed(self, cycle, rec, in_flight):
-        """Mirror of the reference ``_on_eject``: requests schedule their
-        reply after the service latency; returning replies retire the
-        transaction and account the round trip."""
+        """Mirror of the reference ``_on_eject``: live requests schedule
+        their reply after the service latency; returning replies retire
+        the transaction and account the round trip.  Stale packets —
+        their transaction already failed, completed, or re-entered
+        backoff — eject silently."""
         size = rec[2]
+        meta = rec[5]
         if size == CONTROL_FLITS:
-            # request at its home node: rec = (.., .., size, src, dst,
-            # birth << 1 | is_mem)
-            meta = rec[5]
-            service = self.memory_cycles if meta & 1 else self.directory_cycles
+            # request at its home node: meta = tid << 33 | birth << 1 | mem
+            tid = meta >> 33
+            t = self.txn.get(tid)
+            if t is None or t[5] != _IN_NET:
+                return in_flight
+            service = self.memory_cycles if t[_T_MEM] else self.directory_cycles
             heappush(
                 self.pending_replies,
-                (cycle + service, rec[3], rec[4], DATA_FLITS, meta >> 1),
+                (cycle + service, t[_T_NODE], rec[4], DATA_FLITS,
+                 t[_T_BIRTH], tid),
             )
             return in_flight
         # reply came home (at rec[4]): request complete.  (The fused
         # loop's eject path already decremented in-flight for the reply
-        # packet itself.)
+        # packet itself.)  meta = tid << 32 | birth.
+        tid = meta >> 32
+        t = self.txn.pop(tid, None)
+        if t is None:
+            return in_flight
         node = rec[4]
         outstanding = self.outstanding
         o = outstanding[node] - 1
         outstanding[node] = o if o > 0 else 0
+        self.completed_total += 1
         if self._measure_rtts:
             self.completed += 1
-            self.rtt_sum += cycle - rec[5]
+            self.rtt_sum += cycle - (meta & _U32)
         return in_flight
 
-    # -- public API ------------------------------------------------------------
-    def run_closed_loop(self, warmup: int, measure: int) -> ClosedLoopStats:
-        self._run_cycles(warmup)
-        self._measure_rtts = True
-        self._run_cycles(measure)
-        self._measure_rtts = False
-        return ClosedLoopStats(
-            cycles=measure,
-            completed_requests=self.completed,
-            rtt_sum=self.rtt_sum,
-            n_nodes=self.n,
-        )
+    # -- fault epochs ----------------------------------------------------------
+    def _apply_epoch(self, epoch) -> None:
+        """Epoch swap + drop recovery, mirroring the reference: the
+        canonical walk's dropped records route their transactions into
+        the shared retry path (sorted-tid order, so both engines consume
+        the backoff stream identically)."""
+        log: List[tuple] = []
+        self._drop_log = log
+        try:
+            super()._apply_epoch(epoch)
+        finally:
+            self._drop_log = None
+        if log:
+            self._fail_or_retry_dropped(
+                (
+                    (meta >> 33) if size == CONTROL_FLITS else (meta >> 32)
+                    for size, meta in log
+                ),
+                self.cycle,
+            )
 
 
 #: Closed-loop engine name -> simulator class (same names as the

@@ -66,21 +66,17 @@ def demand_rate_for(workload: WorkloadProfile, cores_per_router: float = 3.2) ->
     return float(min(rate * CORE_CLOCK_GHZ / 3.0, 0.45))
 
 
-def run_workload(
+def _build_closed_loop(
     table: RoutingTable,
     workload: WorkloadProfile,
-    link_class: Optional[str] = None,
-    warmup: int = 600,
-    measure: int = 2500,
-    seed: int = 0,
-    engine: str = DEFAULT_ENGINE,
-) -> WorkloadResult:
-    """Closed-loop simulation of one benchmark on one routed topology.
-
-    ``engine`` picks the closed-loop simulator implementation (the
-    ``"fast"`` flat-array engine, the default, or the ``"reference"``
-    oracle); both produce identical results for identical inputs.
-    """
+    link_class: Optional[str],
+    seed: int,
+    engine: str,
+    faults=None,
+    retry=None,
+):
+    """One closed-loop simulator for a (workload, topology) pair, plus
+    the NoI clock its latencies convert through."""
     topo = table.topology
     cls = link_class or topo.link_class or "small"
     clock = CLASS_CLOCK_GHZ[cls]
@@ -92,6 +88,36 @@ def run_workload(
         memory_fraction=workload.memory_fraction,
         noi_clock_ghz=clock,
         seed=seed,
+        faults=faults,
+        retry=retry,
+    )
+    return sim, clock
+
+
+def run_workload(
+    table: RoutingTable,
+    workload: WorkloadProfile,
+    link_class: Optional[str] = None,
+    warmup: int = 600,
+    measure: int = 2500,
+    seed: int = 0,
+    engine: str = DEFAULT_ENGINE,
+    faults=None,
+    retry=None,
+) -> WorkloadResult:
+    """Closed-loop simulation of one benchmark on one routed topology.
+
+    ``engine`` picks the closed-loop simulator implementation (the
+    ``"fast"`` flat-array engine, the default, or the ``"reference"``
+    oracle); both produce identical results for identical inputs.
+    ``faults`` degrades the run with a
+    :class:`~repro.faults.FaultSchedule` (which requires ``retry``, a
+    :class:`~repro.fullsys.closedloop.RetryPolicy`, so in-flight
+    requests survive epoch swaps).
+    """
+    topo = table.topology
+    sim, clock = _build_closed_loop(
+        table, workload, link_class, seed, engine, faults=faults, retry=retry,
     )
     stats = sim.run_closed_loop(warmup, measure)
     rtt_noi_cycles = stats.avg_round_trip_cycles
@@ -106,6 +132,30 @@ def run_workload(
         avg_packet_latency_ns=rtt_ns,
         cpi=float(cpi),
     )
+
+
+def run_recovery_windows(
+    table: RoutingTable,
+    workload: WorkloadProfile,
+    link_class: Optional[str] = None,
+    total: int = 1400,
+    window: int = 50,
+    seed: int = 0,
+    engine: str = DEFAULT_ENGINE,
+    faults=None,
+    retry=None,
+):
+    """Windowed closed-loop run for transient-recovery measurement.
+
+    Returns the :class:`~repro.sim.stats.WindowSample` list covering
+    ``total`` cycles in ``window``-cycle slices — the raw material for
+    :func:`~repro.sim.stats.recovery_metrics` (computed caller-side, so
+    tolerance knobs never enter the cache key).
+    """
+    sim, _clock = _build_closed_loop(
+        table, workload, link_class, seed, engine, faults=faults, retry=retry,
+    )
+    return sim.run_windows(total, window)
 
 
 @dataclass

@@ -22,6 +22,7 @@ from .executor import ParallelExecutor, default_workers, derive_seed
 from .hashing import canonical_json, config_hash
 from .orchestrator import (
     ClosedLoopJob,
+    RecoveryJob,
     CurveJob,
     RoutingJob,
     Runner,
@@ -35,6 +36,7 @@ __all__ = [
     "CurveJob",
     "SaturationJob",
     "ClosedLoopJob",
+    "RecoveryJob",
     "RoutingJob",
     "TrafficSpec",
     "ResultCache",

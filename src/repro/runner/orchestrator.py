@@ -109,6 +109,29 @@ class ClosedLoopJob:
     seed: int = 0
     #: Closed-loop engine ("fast"/"reference"); None = the runner's default.
     engine: Optional[str] = None
+    #: Optional fault schedule (requires ``retry``) and retry policy.
+    faults: Any = None
+    retry: Any = None
+
+
+@dataclass
+class RecoveryJob:
+    """One windowed closed-loop run for transient-recovery measurement.
+
+    The ``recovery`` experiment's unit: a (workload, topology, fault
+    scenario) cell whose result is the per-window counter series the
+    drain/settling metrics derive from.
+    """
+
+    table: RoutingTable
+    workload: Any  # repro.fullsys.workloads.WorkloadProfile
+    faults: Any  # repro.faults.FaultSchedule
+    retry: Any  # repro.fullsys.closedloop.RetryPolicy
+    link_class: Optional[str] = None
+    total: int = 1400
+    window: int = 50
+    seed: int = 0
+    engine: Optional[str] = None
 
 
 class Runner:
@@ -313,10 +336,26 @@ class Runner:
                 j.table, j.workload, j.link_class,
                 j.warmup, j.measure, j.seed,
                 engine=j.engine or self.engine,
+                faults=j.faults,
+                retry=j.retry,
             )
             for j in jobs
         ]
         return self.run_tasks("closed_loop", payloads)
+
+    def recoveries(self, jobs: Sequence[RecoveryJob]) -> List[Any]:
+        """Fan windowed recovery runs across workers.  Returns each
+        job's :class:`~repro.sim.stats.WindowSample` list in submission
+        order; the caller derives drain/settling metrics from them."""
+        payloads = [
+            tasks.recovery_payload(
+                j.table, j.workload, j.link_class, j.faults, j.retry,
+                j.total, j.window, j.seed,
+                engine=j.engine or self.engine,
+            )
+            for j in jobs
+        ]
+        return self.run_tasks("recovery", payloads)
 
     # -- generation-side workloads -------------------------------------------
     def tables(self, jobs: Sequence[RoutingJob]) -> List[RoutingTable]:

@@ -71,8 +71,14 @@ from ..topology import Layout, Topology
 #: ``bfs`` policy, table docs gain the ``"csr"`` format (flat
 #: destination-keyed arrays instead of per-(node, src, dst) entries),
 #: and large cached entries are stored zlib-compressed.  Existing
-#: dict-table results are unchanged, but the codec surface grew.
-TASK_VERSION = 7
+#: dict-table results are unchanged, but the codec surface grew.  v8:
+#: closed-loop fault tolerance — ``closed_loop`` payloads carry optional
+#: fault schedules and request timeout/retry policies, burst keys grow
+#: the ``lrd`` Pareto shape (``alpha``), and the windowed ``recovery``
+#: task family (transient drain/settling measurement) joins.  Existing
+#: fault-free closed-loop results are unchanged (differential suites pin
+#: them), but the payload surface grew, so provenance bumps.
+TASK_VERSION = 8
 
 
 # ---------------------------------------------------------------------------
@@ -158,11 +164,13 @@ class TrafficSpec:
     def from_dict(cls, d: Dict[str, Any]) -> "TrafficSpec":
         burst = d.get("burst")
         if burst is not None:
-            kind, p_on, p_off, on_scale, off_scale, seed = burst
+            # Pre-v8 keys are 6-tuples; the Pareto shape joined in v8.
+            kind, p_on, p_off, on_scale, off_scale, seed, *rest = burst
             burst = (
                 str(kind), float(p_on), float(p_off),
                 None if on_scale is None else float(on_scale),
                 float(off_scale), int(seed),
+                float(rest[0]) if rest else 1.5,
             )
         return cls(
             kind=d["kind"],
@@ -180,10 +188,11 @@ class TrafficSpec:
         if self.burst is not None:
             from ..sim.burst import BurstSpec
 
-            kind, p_on, p_off, on_scale, off_scale, seed = self.burst
+            kind, p_on, p_off, on_scale, off_scale, seed, *rest = self.burst
             pattern = pattern.with_burst(BurstSpec(
                 kind=kind, p_on=p_on, p_off=p_off,
                 on_scale=on_scale, off_scale=off_scale, seed=seed,
+                alpha=rest[0] if rest else 1.5,
             ))
         return pattern
 
@@ -425,6 +434,40 @@ def sat_search_task(payload: Dict[str, Any]) -> float:
     )
 
 
+def _workload_doc(workload) -> Dict[str, Any]:
+    """A workload profile embedded field-by-field (not by name), so a
+    profile change re-keys — and therefore recomputes — every affected
+    cache entry."""
+    return {
+        "name": str(workload.name),
+        "l2_mpki": float(workload.l2_mpki),
+        "memory_fraction": float(workload.memory_fraction),
+        "base_cpi": float(workload.base_cpi),
+        "mlp": float(workload.mlp),
+    }
+
+
+def _decode_workload(doc: Dict[str, Any]):
+    from ..fullsys.workloads import WorkloadProfile
+
+    return WorkloadProfile(
+        name=doc["name"],
+        l2_mpki=float(doc["l2_mpki"]),
+        memory_fraction=float(doc["memory_fraction"]),
+        base_cpi=float(doc["base_cpi"]),
+        mlp=float(doc["mlp"]),
+    )
+
+
+def _decode_retry(payload: Dict[str, Any]):
+    doc = payload.get("retry")
+    if doc is None:
+        return None
+    from ..fullsys.closedloop import RetryPolicy
+
+    return RetryPolicy.from_dict(doc)
+
+
 def closed_loop_payload(
     table: RoutingTable,
     workload,
@@ -433,29 +476,30 @@ def closed_loop_payload(
     measure: int,
     seed: int,
     engine: str = DEFAULT_ENGINE,
+    faults=None,
+    retry=None,
 ) -> Dict[str, Any]:
     """One full-system closed-loop run: a (benchmark, topology) pair.
 
-    The workload profile is embedded field-by-field (not by name), so a
-    profile change re-keys — and therefore recomputes — every affected
-    cache entry.
+    A fault schedule requires a retry policy (the combination is
+    validated here, client-side, so a bad pairing fails at submission
+    instead of deep inside a worker process).
     """
+    from ..fullsys.closedloop import validate_closed_loop_faults
+
+    validate_closed_loop_faults(faults, retry)
     return {
         "task": "closed_loop",
         "version": TASK_VERSION,
         "table": encode_table(table),
-        "workload": {
-            "name": str(workload.name),
-            "l2_mpki": float(workload.l2_mpki),
-            "memory_fraction": float(workload.memory_fraction),
-            "base_cpi": float(workload.base_cpi),
-            "mlp": float(workload.mlp),
-        },
+        "workload": _workload_doc(workload),
         "link_class": link_class,
         "warmup": int(warmup),
         "measure": int(measure),
         "seed": int(seed),
         "engine": str(engine),
+        "faults": None if faults is None else faults.as_dict(),
+        "retry": None if retry is None else retry.as_dict(),
     }
 
 
@@ -467,17 +511,9 @@ def closed_loop_task(payload: Dict[str, Any]) -> Dict[str, Any]:
     sim-point tasks never need the full-system stack at all.
     """
     from ..fullsys.speedup import run_workload
-    from ..fullsys.workloads import WorkloadProfile
 
     table = cached_table(payload["table"])
-    w = payload["workload"]
-    profile = WorkloadProfile(
-        name=w["name"],
-        l2_mpki=float(w["l2_mpki"]),
-        memory_fraction=float(w["memory_fraction"]),
-        base_cpi=float(w["base_cpi"]),
-        mlp=float(w["mlp"]),
-    )
+    profile = _decode_workload(payload["workload"])
     r = run_workload(
         table,
         profile,
@@ -486,6 +522,8 @@ def closed_loop_task(payload: Dict[str, Any]) -> Dict[str, Any]:
         measure=payload["measure"],
         seed=payload["seed"],
         engine=payload.get("engine", DEFAULT_ENGINE),
+        faults=_decode_faults(payload),
+        retry=_decode_retry(payload),
     )
     return {
         "workload": r.workload,
@@ -504,6 +542,67 @@ def workload_result_from_dict(doc: Dict[str, Any]):
         avg_packet_latency_ns=float(doc["avg_packet_latency_ns"]),
         cpi=float(doc["cpi"]),
     )
+
+
+def recovery_payload(
+    table: RoutingTable,
+    workload,
+    link_class: Optional[str],
+    faults,
+    retry,
+    total: int,
+    window: int,
+    seed: int,
+    engine: str = DEFAULT_ENGINE,
+) -> Dict[str, Any]:
+    """One windowed closed-loop recovery run (transient measurement).
+
+    The payload carries only what determines the window counters —
+    recovery *metrics* (time-to-drain, settling) are derived caller-side
+    from the windows, so tolerance knobs never invalidate the cache.
+    """
+    from ..fullsys.closedloop import validate_closed_loop_faults
+
+    validate_closed_loop_faults(faults, retry)
+    return {
+        "task": "recovery",
+        "version": TASK_VERSION,
+        "table": encode_table(table),
+        "workload": _workload_doc(workload),
+        "link_class": link_class,
+        "faults": None if faults is None else faults.as_dict(),
+        "retry": None if retry is None else retry.as_dict(),
+        "total": int(total),
+        "window": int(window),
+        "seed": int(seed),
+        "engine": str(engine),
+    }
+
+
+def recovery_task(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker entry: one windowed closed-loop run, windows as JSON."""
+    from ..fullsys.speedup import run_recovery_windows
+
+    table = cached_table(payload["table"])
+    profile = _decode_workload(payload["workload"])
+    samples = run_recovery_windows(
+        table,
+        profile,
+        link_class=payload.get("link_class"),
+        total=payload["total"],
+        window=payload["window"],
+        seed=payload["seed"],
+        engine=payload.get("engine", DEFAULT_ENGINE),
+        faults=_decode_faults(payload),
+        retry=_decode_retry(payload),
+    )
+    return {"windows": [s.as_dict() for s in samples]}
+
+
+def recovery_result_from_dict(doc: Dict[str, Any]):
+    from ..sim.stats import WindowSample
+
+    return [WindowSample.from_dict(w) for w in doc["windows"]]
 
 
 # ---------------------------------------------------------------------------
@@ -756,6 +855,7 @@ TASK_FUNCTIONS = {
     "sim_point": (sim_point_task, stats_from_dict),
     "sat_search": (sat_search_task, float),
     "closed_loop": (closed_loop_task, workload_result_from_dict),
+    "recovery": (recovery_task, recovery_result_from_dict),
     "generation": (generation_task, generation_result_from_dict),
     "routing": (routing_task, decode_table),
     "gap_curve": (gap_curve_task, gap_curve_from_dict),

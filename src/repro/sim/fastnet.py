@@ -256,6 +256,18 @@ class FastNetworkSimulator:
     _closed_gen = None
     _closed_eject = None
 
+    #: Whether the closed-loop hooks (if any) honor fault epochs.  The
+    #: closed-loop subclass flips this to True: its construction-time
+    #: validation guarantees a retry policy accompanies any fault
+    #: schedule, so epoch swaps can route dropped requests into the
+    #: retry path instead of stranding their transactions.
+    _closed_faults = False
+
+    #: Epoch-swap drop collector (see :class:`~repro.sim.network.
+    #: NetworkSimulator`): a list set by the closed-loop subclass around
+    #: ``_apply_epoch``; dropped records append ``(size, meta)``.
+    _drop_log = None
+
     #: Trace chunk length override (None = :data:`~repro.sim.trace.
     #: TRACE_CHUNK_CYCLES`); tests shrink it to stress chunk boundaries.
     trace_chunk_cycles: Optional[int] = None
@@ -915,9 +927,14 @@ class FastNetworkSimulator:
         if tl is None:
             self._run_cycles(ncycles)
             return
-        if self._closed_gen is not None:
-            raise RuntimeError(
-                "fault schedules are not supported in closed-loop mode"
+        if self._closed_gen is not None and not self._closed_faults:
+            raise ValueError(
+                "fault schedule attached to closed-loop generation hooks "
+                "without timeout/retry support: an epoch swap would strand "
+                "in-flight request transactions.  Construct a closed-loop "
+                "simulator with a RetryPolicy (faults=... requires "
+                "retry=...) instead of installing _closed_gen on the "
+                "open-loop engine."
             )
         eps = tl.epochs
         end = self.cycle + ncycles
@@ -961,6 +978,7 @@ class FastNetworkSimulator:
         inj_key_new = cn_new.inj_key
         flow_ok_new = cn_new.flow_ok
         dropped = 0
+        drop_log = self._drop_log
 
         for ch in range(L + n):
             base = ch * V
@@ -983,6 +1001,8 @@ class FastNetworkSimulator:
                         or (dst != cur and not flow_ok_new[cur * n + dst])
                     ):
                         dropped += 1
+                        if drop_log is not None:
+                            drop_log.append((size, birth))
                         continue
                     if dst == cur:
                         # Key is already -1 (eject here); keep the VC so
@@ -1027,12 +1047,18 @@ class FastNetworkSimulator:
                 continue
             if node in dead_routers:
                 dropped += len(sq)
+                if drop_log is not None:
+                    drop_log.extend(
+                        (size, birth) for (_vc, _key, size, _dst, birth) in sq
+                    )
                 sq.clear()
                 continue
             kept: Deque[Tuple[int, int, int, int, int]] = deque()
             for (vc, key, size, dst, birth) in sq:
                 if dst != node and not flow_ok_new[node * n + dst]:
                     dropped += 1
+                    if drop_log is not None:
+                        drop_log.append((size, birth))
                     continue
                 if dst == node:
                     kept.append((vc, key, size, dst, birth))

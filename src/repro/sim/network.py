@@ -310,6 +310,13 @@ class NetworkSimulator:
     def _on_eject(self, pkt: Packet) -> None:
         """Hook for closed-loop extensions (full-system model)."""
 
+    #: When a closed-loop subclass sets this to a list around an epoch
+    #: swap, ``_apply_epoch`` appends every dropped packet to it instead
+    #: of losing them silently — the retry path re-arms their
+    #: transactions.  ``None`` (open loop) keeps the drop-and-count
+    #: behavior.
+    _drop_log = None
+
     # -- fault epochs ---------------------------------------------------------
     def _apply_epoch(self, epoch) -> None:
         """Swap in a fault epoch's table at the start of its cycle.
@@ -329,6 +336,7 @@ class NetworkSimulator:
         cycle = self.cycle
         V = self.num_vcs
         dropped = 0
+        drop_log = self._drop_log
 
         all_queues = self.channels + [(-1, r) for r in range(self.n)]
         for ch in all_queues:
@@ -345,6 +353,8 @@ class NetworkSimulator:
                         or (cur != pkt.dst and (cur, pkt.dst) not in flow_vc)
                     ):
                         dropped += 1
+                        if drop_log is not None:
+                            drop_log.append(pkt)
                         continue
                     pkt.src = cur
                     if cur != pkt.dst:
@@ -370,6 +380,8 @@ class NetworkSimulator:
                     node != pkt.dst and (node, pkt.dst) not in flow_vc
                 ):
                     dropped += 1
+                    if drop_log is not None:
+                        drop_log.append(pkt)
                     continue
                 if node != pkt.dst:
                     pkt.vc = flow_vc[(node, pkt.dst)]

@@ -22,7 +22,13 @@ MEAN_FLITS_PER_PACKET = (CONTROL_FLITS + DATA_FLITS) / 2
 
 @dataclass(slots=True)
 class Packet:
-    """One network packet traversing the NoI."""
+    """One network packet traversing the NoI.
+
+    ``tid`` is the closed-loop transaction id: a request and the reply it
+    triggers share one, so timeout/retry bookkeeping can match a stale
+    retransmission (or a packet dropped by a fault epoch) back to its
+    transaction.  Open-loop packets leave it 0.
+    """
 
     pid: int
     src: int
@@ -31,6 +37,7 @@ class Packet:
     birth_cycle: int
     vc: int = 0
     is_data: bool = False
+    tid: int = 0
 
     def latency(self, eject_cycle: int) -> int:
         return eject_cycle - self.birth_cycle

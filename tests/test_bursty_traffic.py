@@ -34,9 +34,27 @@ from repro.topology import expert_topology
 
 class TestBurstSpec:
     def test_kinds(self):
-        assert set(BURST_KINDS) == {"mmpp", "storm"}
+        assert set(BURST_KINDS) == {"mmpp", "storm", "lrd"}
         with pytest.raises(ValueError, match="unknown burst kind"):
             BurstSpec(kind="tsunami", p_on=0.2, p_off=0.2)
+
+    @pytest.mark.parametrize("alpha", [1.0, 0.5, -2.0])
+    def test_lrd_needs_heavy_tail_with_finite_mean(self, alpha):
+        with pytest.raises(ValueError, match="alpha > 1"):
+            BurstSpec(kind="lrd", p_on=0.2, p_off=0.2, alpha=alpha)
+        # the shape is inert for the Markov kinds
+        BurstSpec(kind="mmpp", p_on=0.2, p_off=0.2, alpha=alpha)
+
+    def test_lrd_sojourns_hit_their_mean_exactly(self):
+        """The bisection solves the discrete truncated-Pareto mean."""
+        from repro.sim.burst import _pareto_xm
+
+        for mean, alpha in [(5.0, 1.5), (10.0, 1.2), (50.0, 1.8)]:
+            trunc = max(64, int(np.ceil(50.0 * mean)))
+            xm = _pareto_xm(mean, alpha, trunc)
+            k = np.arange(1, trunc)
+            got = 1.0 + np.minimum(1.0, (xm / k) ** alpha).sum()
+            assert got == pytest.approx(mean, rel=1e-9)
 
     @pytest.mark.parametrize("p_on,p_off", [(0.0, 0.2), (0.2, 0.0), (1.5, 0.2)])
     def test_probabilities_must_be_in_unit_interval(self, p_on, p_off):

@@ -230,7 +230,11 @@ def test_small_trace_chunks_cross_fault_epochs():
     assert fast == ref
 
 
-def test_closed_loop_rejects_fault_schedules():
+def test_closed_loop_hooks_without_retry_rejected():
+    """Installing closed-loop generation hooks on the open-loop fast
+    engine under a fault schedule is a documented ValueError: an epoch
+    swap would strand in-flight request transactions.  The supported
+    path is a closed-loop simulator with a RetryPolicy."""
     table = _table("Mesh", 16)
     sched = central_link_faults(table.topology, 1)
     sim = FastNetworkSimulator(
@@ -238,7 +242,7 @@ def test_closed_loop_rejects_fault_schedules():
         compiled=CompiledNetwork.for_table(table), faults=sched,
     )
     sim._closed_gen = lambda *a: a  # simulate closed-loop mode
-    with pytest.raises(RuntimeError, match="closed-loop"):
+    with pytest.raises(ValueError, match="closed-loop"):
         sim.run(10, 10)
 
 

@@ -200,13 +200,16 @@ def reference_bursty_stream(pat, n, rate, seed, ncycles):
 class TestBurstyTraceMatchesReference:
     MMPP = dict(kind="mmpp", p_on=0.2, p_off=0.2, seed=4)
     STORM = dict(kind="storm", p_on=0.15, p_off=0.3, seed=9)
+    LRD = dict(kind="lrd", p_on=0.12, p_off=0.3, seed=4, alpha=1.4)
 
     def _spec(self, fields, **over):
         from repro.sim import BurstSpec
 
         return BurstSpec(**{**fields, **over})
 
-    @pytest.mark.parametrize("fields", [MMPP, STORM], ids=["mmpp", "storm"])
+    @pytest.mark.parametrize(
+        "fields", [MMPP, STORM, LRD], ids=["mmpp", "storm", "lrd"]
+    )
     def test_vectorized_path_tiny_chunks(self, fields):
         """rate * max_scale < 1 keeps the vectorized path eligible; the
         gate rows must line up with chunk boundaries at stride 7."""
@@ -238,6 +241,14 @@ class TestBurstyTraceMatchesReference:
         assert got == ref
         assert any(e[0] == f[0] and e[1] == f[1]
                    for e, f in zip(ref, ref[1:]))  # multi-packet cycles hit
+
+    def test_bursty_lrd_hotspot(self):
+        """Heavy-tailed gates over a hotspot pattern: the self-similar
+        scenario the recovery/robustness grids lean on."""
+        pat = hotspot(20, [3, 11], 0.6).with_burst(self._spec(self.LRD))
+        ref = reference_bursty_stream(pat, 20, 0.15, 2, 160)
+        got = trace_event_stream(pat, 20, 0.15, 2, 160, chunk_cycles=11)
+        assert got == ref
 
     def test_forced_scalar_agrees_with_vectorized(self):
         """Both generation paths consume the identical word stream under
