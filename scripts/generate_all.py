@@ -55,9 +55,14 @@ def main(argv=None) -> int:
         parallel=args.parallel, cache_dir=args.cache_dir, no_cache=args.no_cache
     )
     counts = generate_all(args.out, runner=runner, only=args.only, log=log)
+    if counts["failed"]:
+        log(f"PARTIAL: {counts['done']} built, {counts['skipped']} already "
+            f"frozen, {counts['failed']} FAILED (see tracebacks above) — "
+            f"exiting non-zero; do not freeze these group files blindly")
+        return 1
     log(f"ALL DONE: {counts['done']} built, {counts['skipped']} already frozen, "
-        f"{counts['failed']} failed")
-    return 1 if counts["failed"] else 0
+        f"0 failed")
+    return 0
 
 
 if __name__ == "__main__":

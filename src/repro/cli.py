@@ -23,7 +23,15 @@ identical results either way).  The flags cover the open-loop sweeps
 (fig6/7/10/11) and the full-system closed-loop PARSEC sweep (``repro
 run fig8``), whose (benchmark, topology) runs fan out and cache the
 same way.  Results are bit-identical at any worker count; a cached
-rerun skips simulation outright.  See ``docs/CLI.md``.
+rerun skips simulation outright.
+
+Execution is supervised: ``--task-timeout SEC`` bounds each task
+attempt's wall clock, ``--task-retries N`` bounds retries for transient
+failures/hangs/worker crashes, and ``--health`` prints the supervision
+report (retries, timeouts, pool restarts, quarantines, cache
+evictions).  A run with quarantined tasks prints a per-cell failure
+table and exits with status 2; a SIGINT-killed run resumes exactly from
+the sweep journal.  See ``docs/CLI.md``.
 """
 
 from __future__ import annotations
@@ -123,14 +131,54 @@ def cmd_route(args) -> int:
 
 
 def _make_runner(args):
-    from .runner import Runner
+    from .runner import Runner, TaskRetryPolicy
 
+    retry = None
+    task_timeout = getattr(args, "task_timeout", None)
+    task_retries = getattr(args, "task_retries", None)
+    if task_timeout is not None or task_retries is not None:
+        default = TaskRetryPolicy()
+        retry = TaskRetryPolicy(
+            timeout=task_timeout,
+            retries=default.retries if task_retries is None else task_retries,
+        )
     return Runner(
         parallel=args.parallel,
         cache_dir=args.cache_dir,
         no_cache=args.no_cache,
         engine=getattr(args, "engine", "fast"),
+        retry=retry,
     )
+
+
+def _failure_table(failures) -> str:
+    """One row per quarantined task: what failed, how, after how many tries."""
+    lines = [f"{'task':<12} {'kind':<8} {'attempts':>8}  {'payload':<14} error"]
+    for f in failures:
+        err = (f.error or "").splitlines()[0] if f.error else ""
+        lines.append(
+            f"{(f.task or '?'):<12} {f.kind:<8} {f.attempts:>8}  "
+            f"{f.payload_hash[:12]:<14} {err[:80]}"
+        )
+    return "\n".join(lines)
+
+
+def _report_quarantine(runner, exc=None) -> None:
+    failures = runner.failures or (list(exc.failures) if exc is not None else [])
+    print(
+        f"\n{len(failures)} task(s) quarantined after exhausting retries"
+        + (
+            " (failure artifacts under the cache's failures/ directory):"
+            if runner.cache is not None else ":"
+        ),
+        file=sys.stderr,
+    )
+    print(_failure_table(failures), file=sys.stderr)
+
+
+def _print_health(runner, args) -> None:
+    if getattr(args, "health", False):
+        print(runner.health.summary(), file=sys.stderr)
 
 
 #: ``simulate --traffic`` choices (all synthetic generators in repro.sim).
@@ -204,12 +252,19 @@ def cmd_simulate(args) -> int:
             raise SystemExit(str(exc))
     rates = [args.max_rate * (k + 1) / args.points for k in range(args.points)]
     runner = _make_runner(args)
-    curve = runner.curve(
-        table, spec, rates,
-        link_class=args.link_class or topo.link_class,
-        warmup=args.warmup, measure=args.measure, seed=args.seed,
-        faults=faults,
-    )
+    from .runner import QuarantineError
+
+    try:
+        curve = runner.curve(
+            table, spec, rates,
+            link_class=args.link_class or topo.link_class,
+            warmup=args.warmup, measure=args.measure, seed=args.seed,
+            faults=faults,
+        )
+    except QuarantineError as exc:
+        _report_quarantine(runner, exc)
+        _print_health(runner, args)
+        return 2
     print(f"{'offered':>8} {'latency(cyc)':>13} {'accepted':>9} {'saturated':>9}")
     for p in curve.points:
         print(f"{p.offered_rate:8.3f} {p.avg_latency_cycles:13.1f} "
@@ -218,6 +273,7 @@ def cmd_simulate(args) -> int:
           f"packets/node/ns @ {curve.clock_ghz} GHz")
     if not args.no_cache:
         print(runner.stats.summary(), file=sys.stderr)
+    _print_health(runner, args)
     return 0
 
 
@@ -279,6 +335,8 @@ def cmd_explore(args) -> int:
         else args.sim_cutoff
     )
     runner = _make_runner(args)
+    from .runner import QuarantineError
+
     try:
         result = explore(
             points,
@@ -292,6 +350,10 @@ def cmd_explore(args) -> int:
             robustness=args.robustness,
             sim_cutoff=sim_cutoff,
         )
+    except QuarantineError as exc:
+        _report_quarantine(runner, exc)
+        _print_health(runner, args)
+        return 2
     except (ValueError, RuntimeError) as exc:
         # Point validation (bad radix/objective combos) and
         # all-strategies-failed sweeps get the same clean one-line
@@ -305,6 +367,7 @@ def cmd_explore(args) -> int:
         print(f"[artifacts in {args.out_dir}]", file=sys.stderr)
     if not args.no_cache:
         print(runner.stats.summary(), file=sys.stderr)
+    _print_health(runner, args)
     return 0
 
 
@@ -363,7 +426,21 @@ def cmd_run(args) -> int:
             retry = _retry_policy(args)
             if retry is not None:
                 kw["retry"] = retry
-        result = spec.run(runner, fast=not args.full, **kw)
+        from .runner import QuarantineError
+
+        try:
+            result = spec.run(runner, fast=not args.full, **kw)
+        except QuarantineError as exc:
+            # The wave finished (successes are cached) but some cell's
+            # task exhausted its retries: report and fail loudly rather
+            # than summarizing a partial experiment as success.
+            print(f"[{name}: FAILED after {time.time() - t0:.1f}s]",
+                  file=sys.stderr)
+            _report_quarantine(runner, exc)
+            if not args.no_cache:
+                print(runner.stats.summary(), file=sys.stderr)
+            _print_health(runner, args)
+            return 2
         text = spec.summarize(result)
         chunks.append(text)
         print(text)
@@ -371,21 +448,34 @@ def cmd_run(args) -> int:
               f"{runner.parallel} worker(s)]", file=sys.stderr)
     if not args.no_cache:
         print(runner.stats.summary(), file=sys.stderr)
+    _print_health(runner, args)
     if args.out:
         with open(args.out, "w") as fh:
             fh.write("\n\n".join(chunks) + "\n")
         print(f"[written to {args.out}]", file=sys.stderr)
+    if runner.failures:
+        # Failure-isolating experiments (quarantine="return") can finish
+        # with quarantined cells; that is still a failed run.
+        _report_quarantine(runner)
+        return 2
     return 0
 
 
 def cmd_report(args) -> int:
     from .experiments.report import generate_report
+    from .runner import QuarantineError
 
     runner = _make_runner(args)
-    text = generate_report(fast=not args.full, runner=runner)
+    try:
+        text = generate_report(fast=not args.full, runner=runner)
+    except QuarantineError as exc:
+        _report_quarantine(runner, exc)
+        _print_health(runner, args)
+        return 2
     print(text)
     if not args.no_cache:
         print(runner.stats.summary(), file=sys.stderr)
+    _print_health(runner, args)
     if args.out:
         with open(args.out, "w") as fh:
             fh.write(text)
@@ -415,6 +505,25 @@ def _add_runner_flags(parser: argparse.ArgumentParser) -> None:
              "full-system runs: the fast engine (default; flat arrays, "
              "pre-generated traffic traces, compiled-network reuse) or "
              "the reference oracle; both produce identical results",
+    )
+    parser.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SEC",
+        help="wall-clock budget per task attempt; a task past it is "
+             "treated as hung — the worker pool restarts and the task "
+             "retries (default: unbounded)",
+    )
+    parser.add_argument(
+        "--task-retries", type=int, default=None, metavar="N",
+        help="retry budget per task for transient failures, timeouts, "
+             "and worker crashes; a payload that exhausts it is "
+             "quarantined with a failure artifact and the run exits "
+             "non-zero (default 2)",
+    )
+    parser.add_argument(
+        "--health", action="store_true",
+        help="print the execution-health report (retries, timeouts, "
+             "pool restarts, quarantined tasks, cache corruption "
+             "evictions, journal resume counts) after the run",
     )
 
 

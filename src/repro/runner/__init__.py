@@ -7,19 +7,39 @@ out across worker processes, and reassembled in deterministic order —
 so parallel results are bit-identical to serial, and reruns resume
 instead of recomputing.
 
+Execution is *supervised* (timeouts, bounded retries, pool-collapse
+recovery, poison-task quarantine — :mod:`~repro.runner.executor`),
+observable (:class:`RunHealth`), testable under injected faults
+(:mod:`~repro.runner.chaos`), and crash-safe (the sweep journal,
+:mod:`~repro.runner.journal`).
+
 Layers (see ``docs/ARCHITECTURE.md``):
 
 * :mod:`~repro.runner.hashing` — canonical config hashing (cache keys);
 * :mod:`~repro.runner.cache` — atomic JSON store, hit/miss accounting;
-* :mod:`~repro.runner.executor` — process-pool map + seed derivation;
+* :mod:`~repro.runner.executor` — supervised process-pool map, retry
+  policy, health counters, seed derivation;
+* :mod:`~repro.runner.chaos` — deterministic fault-injection doubles;
+* :mod:`~repro.runner.journal` — crash-safe sweep journal (exact resume);
 * :mod:`~repro.runner.tasks` — payload codecs and worker entry points;
 * :mod:`~repro.runner.orchestrator` — the :class:`Runner` façade;
 * :mod:`~repro.runner.artifacts` — the frozen-artifact pipeline.
 """
 
 from .cache import MISS, CacheStats, ResultCache, default_cache_dir
-from .executor import ParallelExecutor, default_workers, derive_seed
+from .chaos import ChaosError, ChaosSpec, TornCache
+from .executor import (
+    ParallelExecutor,
+    QuarantineError,
+    RunHealth,
+    TaskFailure,
+    TaskRetryPolicy,
+    default_workers,
+    derive_seed,
+    payload_fingerprint,
+)
 from .hashing import canonical_json, config_hash
+from .journal import RunJournal
 from .orchestrator import (
     ClosedLoopJob,
     RecoveryJob,
@@ -43,9 +63,18 @@ __all__ = [
     "CacheStats",
     "MISS",
     "ParallelExecutor",
+    "TaskRetryPolicy",
+    "RunHealth",
+    "TaskFailure",
+    "QuarantineError",
+    "ChaosSpec",
+    "ChaosError",
+    "TornCache",
+    "RunJournal",
     "derive_seed",
     "default_workers",
     "default_cache_dir",
+    "payload_fingerprint",
     "config_hash",
     "canonical_json",
     "task_key",

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import json
 import os
+import traceback
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
@@ -156,7 +157,14 @@ def artifact_task(payload: Dict[str, Any]) -> Dict[str, Any]:
         result["ok"] = True
         return result
     except Exception as exc:  # noqa: BLE001 — keep the batch alive
-        return {"ok": False, "error": repr(exc)}
+        # Full traceback text, not just repr(exc): by the time a
+        # failure summary is printed the worker (and its stack) is long
+        # gone, and "KeyError('x')" without a location is undebuggable.
+        return {
+            "ok": False,
+            "error": repr(exc),
+            "traceback": traceback.format_exc(),
+        }
 
 
 # The artifact task family rides the same run_tasks machinery as the
@@ -305,6 +313,7 @@ def generate_all(
     results = runner.run_tasks("artifact", [t.payload for t in todo])
 
     done = failed = 0
+    failures: List[Any] = []
     for task, result in zip(todo, results):
         if result.get("ok"):
             groups[task.group][task.entry] = _entry_value(task, result)
@@ -316,7 +325,19 @@ def generate_all(
             # Failures are never cached (run_tasks skips ok:false puts),
             # so the next invocation retries them automatically.
             failed += 1
+            failures.append((task, result))
             log(f"FAILED {task.name}: {result.get('error')}")
+    if failures:
+        # A loud aggregated summary — the group files on disk are
+        # partial, and a consumer that freezes them anyway should do so
+        # knowingly, not because the failures scrolled past.
+        log("")
+        log(f"{failed} artifact(s) FAILED — the written group files are "
+            f"partial; rerun to retry (failed results are never cached):")
+        for task, result in failures:
+            log(f"  FAILED {task.name}: {result.get('error')}")
+            for line in (result.get("traceback") or "").rstrip().splitlines():
+                log(f"    {line}")
     return {"done": done, "skipped": skipped, "failed": failed}
 
 

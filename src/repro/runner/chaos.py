@@ -1,0 +1,188 @@
+"""Deterministic chaos harness for the supervised runner.
+
+Fault-tolerance logic that cannot be exercised is decoration.  This
+module provides the test doubles that let the differential suite inject
+real faults — worker ``os._exit``, task hangs, transient exceptions,
+scheduling delays, torn cache writes — while keeping every injection
+**deterministic**: victims are selected by content hash (never by
+wall-clock, pid, or global RNG state), so a chaotic run is exactly
+reproducible and its expected fault counts are known in advance.  The
+acceptance bar is differential: a sweep run under chaos must produce
+bit-identical results to the fault-free run, with :class:`RunHealth`
+counters matching the injected fault counts.
+
+Faults are keyed by :func:`~repro.runner.executor.payload_fingerprint`
+(the payload's canonical content hash).  ``ChaosSpec.select`` ranks
+fingerprints by a seeded digest and carves off the requested number of
+victims per fault class, so tests write ``ChaosSpec.select(payloads,
+seed=0, exc=2, crash=1)`` and then assert ``health.retries == 2`` etc.
+
+Crash and hang injections are **pid-guarded**: they only fire inside a
+worker process (``os.getpid() != spec.main_pid``), never in the
+supervisor.  This is not just self-preservation — it also means the
+executor's inline degradation path (which runs tasks in the supervisor
+process after writing off the pool) completes chaos-marked payloads
+instead of dying, exactly the behavior degradation promises.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Sequence, Tuple
+
+from .cache import ResultCache
+from .executor import payload_fingerprint
+
+
+class ChaosError(RuntimeError):
+    """The injected transient task exception."""
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """A pickled-to-workers description of which payloads fail and how.
+
+    ``crash``/``hang``/``exc``/``delay`` hold payload fingerprints (see
+    :func:`payload_fingerprint`).  Crash/hang/exc fire only while the
+    payload's attempt number is below ``fail_attempts`` — so with the
+    default of 1 every victim fails exactly once and succeeds on retry,
+    while ``fail_attempts`` larger than the retry budget makes a victim
+    a poison task that must be quarantined.  ``delay`` always fires: it
+    shapes scheduling (useful to hold tasks in flight for SIGINT tests)
+    without ever failing anything.
+    """
+
+    crash: Tuple[str, ...] = ()
+    hang: Tuple[str, ...] = ()
+    exc: Tuple[str, ...] = ()
+    delay: Tuple[str, ...] = ()
+    fail_attempts: int = 1
+    hang_s: float = 30.0
+    delay_s: float = 0.02
+    main_pid: int = field(default_factory=os.getpid)
+
+    def __post_init__(self):
+        if self.fail_attempts < 0:
+            raise ValueError(
+                f"fail_attempts must be >= 0, got {self.fail_attempts!r}"
+            )
+        if self.hang_s <= 0 or self.delay_s < 0:
+            raise ValueError("hang_s must be > 0 and delay_s >= 0")
+
+    def counts(self) -> Dict[str, int]:
+        return {
+            "crash": len(self.crash),
+            "hang": len(self.hang),
+            "exc": len(self.exc),
+            "delay": len(self.delay),
+        }
+
+    @classmethod
+    def select(
+        cls,
+        payloads: Sequence[Any],
+        seed: int = 0,
+        crash: int = 0,
+        hang: int = 0,
+        exc: int = 0,
+        delay: int = 0,
+        **kwargs: Any,
+    ) -> "ChaosSpec":
+        """Deterministically pick fault victims from ``payloads``.
+
+        Distinct payload fingerprints are ranked by
+        ``sha256(seed ':' fingerprint)`` and the requested counts carved
+        off in order (crash victims first, then hang, exc, delay) — the
+        classes never overlap, and the same payloads + seed always
+        select the same victims.
+        """
+        keys = sorted(
+            {payload_fingerprint(p) for p in payloads},
+            key=lambda k: hashlib.sha256(f"{seed}:{k}".encode()).hexdigest(),
+        )
+        need = crash + hang + exc + delay
+        if need > len(keys):
+            raise ValueError(
+                f"cannot select {need} distinct fault victims from "
+                f"{len(keys)} distinct payloads"
+            )
+        cuts = [crash, crash + hang, crash + hang + exc, need]
+        return cls(
+            crash=tuple(keys[: cuts[0]]),
+            hang=tuple(keys[cuts[0]:cuts[1]]),
+            exc=tuple(keys[cuts[1]:cuts[2]]),
+            delay=tuple(keys[cuts[2]:cuts[3]]),
+            **kwargs,
+        )
+
+
+def chaos_call(spec: ChaosSpec, attempt: int, fn, payload):
+    """Run ``fn(payload)`` with ``spec``'s faults applied to this attempt.
+
+    The executor routes every task call through here when chaos is
+    armed — in workers and inline alike; this is the single interposition
+    point, so supervision itself is identical with and without chaos.
+    """
+    key = payload_fingerprint(payload)
+    in_worker = os.getpid() != spec.main_pid
+    if attempt < spec.fail_attempts:
+        if key in spec.crash and in_worker:
+            # A real worker crash: no exception, no cleanup — the pool
+            # sees the process vanish, exactly like an OOM kill.
+            os._exit(17)
+        if key in spec.hang and in_worker:
+            time.sleep(spec.hang_s)
+        if key in spec.exc:
+            raise ChaosError(
+                f"injected transient failure (attempt {attempt}) "
+                f"for payload {key[:12]}"
+            )
+    if key in spec.delay:
+        time.sleep(spec.delay_s)
+    return fn(payload)
+
+
+class TornCache(ResultCache):
+    """A :class:`ResultCache` whose first write of selected keys is torn.
+
+    After a normal atomic put, the on-disk entry for a selected key is
+    corrupted in place — truncated (``mode="truncate"``) or overwritten
+    with garbage bytes (``mode="garbage"``) — simulating the torn write
+    a crash mid-``os.replace``-less writer would leave.  Each key is
+    torn at most once, so the repopulation after eviction sticks.  The
+    cache's own read path is untouched: discovery, eviction, and
+    recompute exercise the production corruption handling, and each
+    eviction shows up in ``stats.errors`` / ``RunHealth.cache_evictions``.
+
+    ``torn`` holds *cache keys* (the ``task_key`` identity), not payload
+    fingerprints — this double sits behind the cache API, where payloads
+    are no longer visible.
+    """
+
+    def __init__(self, root=None, torn: Sequence[str] = (), mode: str = "truncate"):
+        super().__init__(root)
+        if mode not in ("truncate", "garbage"):
+            raise ValueError(f"unknown tear mode {mode!r}")
+        self._torn = set(torn)
+        self.mode = mode
+        self.torn_writes = 0
+
+    def put(self, key: str, value: Any) -> None:
+        super().put(key, value)
+        if key not in self._torn:
+            return
+        self._torn.discard(key)
+        for path in (self.path_for(key), self.zpath_for(key)):
+            if not os.path.exists(path):
+                continue
+            with open(path, "rb") as fh:
+                data = fh.read()
+            with open(path, "wb") as fh:
+                if self.mode == "truncate":
+                    fh.write(data[: max(1, len(data) // 2)])
+                else:
+                    fh.write(b"\x00\xffnot json\xfe" + data[:8])
+            self.torn_writes += 1

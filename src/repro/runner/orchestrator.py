@@ -18,16 +18,27 @@ resumability falls out of the design rather than being bolted on.
 
 from __future__ import annotations
 
+import json
+import os
+import tempfile
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..routing.tables import RoutingTable
 from ..sim.fastnet import DEFAULT_ENGINE
 from ..sim.sweep import SweepResult, assemble_curve
 from . import tasks
 from .cache import MISS, CacheStats, ResultCache
-from .executor import ParallelExecutor, default_workers
+from .executor import (
+    ParallelExecutor,
+    QuarantineError,
+    RunHealth,
+    TaskFailure,
+    TaskRetryPolicy,
+    default_workers,
+)
 from .hashing import config_hash
+from .journal import JOURNAL_NAME, RunJournal
 
 
 def task_key(task_name: str, payload: Dict[str, Any]) -> str:
@@ -140,6 +151,17 @@ class Runner:
     ``parallel=1`` (the default) runs everything inline; results are
     identical at any worker count.  ``no_cache=True`` disables the disk
     cache entirely (the ``--no-cache`` escape hatch).
+
+    Execution is supervised (see :mod:`repro.runner.executor`): ``retry``
+    sets the per-task timeout/retry/backoff policy, and ``health``
+    reports what supervision had to do.  With a cache, every run also
+    keeps a sweep journal (``journal.jsonl`` in the cache root) so a
+    killed run resumes exactly; payloads that exhaust their retries are
+    quarantined with a failure artifact under ``<cache root>/failures/``.
+    ``chaos`` (a :class:`~repro.runner.chaos.ChaosSpec`) and ``cache``
+    (a pre-built :class:`ResultCache`, e.g. a
+    :class:`~repro.runner.chaos.TornCache`) are the fault-injection test
+    surfaces.
     """
 
     def __init__(
@@ -148,15 +170,29 @@ class Runner:
         cache_dir: Optional[str] = None,
         no_cache: bool = False,
         engine: str = DEFAULT_ENGINE,
+        retry: Optional[TaskRetryPolicy] = None,
+        chaos: Any = None,
+        cache: Optional[ResultCache] = None,
+        journal: bool = True,
     ):
         if parallel <= 0:
             parallel = default_workers()
-        self.executor = ParallelExecutor(parallel)
-        self.cache: Optional[ResultCache] = (
-            None if no_cache else ResultCache(cache_dir)
-        )
+        self.retry = retry or TaskRetryPolicy()
+        self.executor = ParallelExecutor(parallel, retry=self.retry, chaos=chaos)
+        if cache is not None:
+            self.cache: Optional[ResultCache] = cache
+        else:
+            self.cache = None if no_cache else ResultCache(cache_dir)
         #: Default simulation engine for jobs that don't pin one.
         self.engine = engine
+        #: Every TaskFailure quarantined through this runner (for reporting).
+        self.failures: List[TaskFailure] = []
+        self.journal: Optional[RunJournal] = None
+        self._resumable: Set[str] = set()
+        if journal and self.cache is not None:
+            self.journal = RunJournal(os.path.join(self.cache.root, JOURNAL_NAME))
+            self.executor.health.interrupted = len(self.journal.prior_interrupted)
+            self._resumable = set(self.journal.prior_done)
 
     # -- introspection -------------------------------------------------------
     @property
@@ -172,9 +208,19 @@ class Runner:
     def stats(self) -> CacheStats:
         return self.cache.stats if self.cache is not None else CacheStats()
 
+    @property
+    def health(self) -> RunHealth:
+        """The supervision report, with cache-side counters folded in."""
+        h = self.executor.health.copy()
+        if self.cache is not None:
+            h.cache_evictions = self.cache.stats.errors
+        return h
+
     def close(self) -> None:
         """Shut down the worker pool (idempotent; the cache needs none)."""
         self.executor.close()
+        if self.journal is not None:
+            self.journal.close()
 
     def __enter__(self) -> "Runner":
         return self
@@ -183,14 +229,52 @@ class Runner:
         self.close()
 
     # -- the core loop -------------------------------------------------------
-    def run_tasks(self, task_name: str, payloads: Sequence[Dict[str, Any]]) -> List[Any]:
+    def _record_failure(self, failure: TaskFailure) -> None:
+        """Quarantine bookkeeping: remember the failure for reporting,
+        journal it, and write the structured failure artifact
+        (``<cache root>/failures/<key>.json``) atomically."""
+        self.failures.append(failure)
+        if self.journal is not None:
+            self.journal.quarantined(failure.key, failure.as_dict())
+        if self.cache is None:
+            return
+        directory = os.path.join(self.cache.root, "failures")
+        try:
+            os.makedirs(directory, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=directory, prefix=".tmp-", suffix=".json"
+            )
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(failure.as_dict(), fh, indent=2)
+            os.replace(tmp, os.path.join(directory, f"{failure.key}.json"))
+        except OSError:
+            pass  # reporting must not mask the failure being reported
+
+    def run_tasks(
+        self,
+        task_name: str,
+        payloads: Sequence[Dict[str, Any]],
+        quarantine: str = "raise",
+    ) -> List[Any]:
         """Run a batch of same-kind tasks: cache lookup, fan out misses,
         write back, return decoded results in submission order.
 
         Results that report their own failure (``{"ok": false, ...}``,
         the convention of failure-isolating tasks like ``artifact``) are
         returned but never cached — a retry must actually retry.
+
+        Each fresh result is cached (and journaled) the moment its task
+        completes, not when the wave ends — a killed run keeps all its
+        finished work.  Payloads that exhaust the retry policy are
+        quarantined: with ``quarantine="raise"`` (the default) a
+        :class:`QuarantineError` carrying the failures is raised *after*
+        the whole wave has completed and its successes are cached;
+        ``quarantine="return"`` instead leaves the
+        :class:`TaskFailure` records (undecoded) in the result list for
+        callers that isolate failures themselves.
         """
+        if quarantine not in ("raise", "return"):
+            raise ValueError(f"unknown quarantine mode {quarantine!r}")
         fn, decode = tasks.TASK_FUNCTIONS[task_name]
         payloads = list(payloads)
         keys = [task_key(task_name, p) for p in payloads]
@@ -198,6 +282,10 @@ class Runner:
         if self.cache is not None:
             for i, key in enumerate(keys):
                 results[i] = self.cache.get(key)
+                if results[i] is not MISS and key in self._resumable:
+                    # A hit the previous (killed) run journaled as done.
+                    self._resumable.discard(key)
+                    self.executor.health.resumed += 1
         todo = [i for i, r in enumerate(results) if r is MISS]
         if todo:
             # Identical payloads within one batch compute (and cache)
@@ -210,14 +298,37 @@ class Runner:
                 if keys[i] not in slot:
                     slot[keys[i]] = len(unique)
                     unique.append(i)
-            fresh = self.executor.map(fn, [payloads[i] for i in unique])
-            for i, value in zip(unique, fresh):
-                failed = isinstance(value, dict) and value.get("ok") is False
-                if self.cache is not None and not failed:
-                    self.cache.put(keys[i], value)
+            unique_keys = [keys[i] for i in unique]
+            if self.journal is not None:
+                self.journal.wave(task_name, unique_keys)
+
+            def _task_done(j: int, outcome: Any) -> None:
+                key = unique_keys[j]
+                if isinstance(outcome, TaskFailure):
+                    outcome.task = task_name
+                    outcome.key = key
+                    self._record_failure(outcome)
+                    return
+                failed = isinstance(outcome, dict) and outcome.get("ok") is False
+                if failed:
+                    return  # not cached, not journaled: a rerun retries it
+                if self.cache is not None:
+                    self.cache.put(key, outcome)
+                if self.journal is not None:
+                    self.journal.done(key)
+
+            fresh = self.executor.map_outcomes(
+                fn, [payloads[i] for i in unique], on_done=_task_done,
+            )
             for i in todo:
                 results[i] = fresh[slot[keys[i]]]
-        return [decode(r) for r in results]
+            wave_failures = [o for o in fresh if isinstance(o, TaskFailure)]
+            if wave_failures and quarantine == "raise":
+                raise QuarantineError(wave_failures)
+        return [
+            r if isinstance(r, TaskFailure) else decode(r)
+            for r in results
+        ]
 
     # -- simulation workloads ------------------------------------------------
     def curves(self, jobs: Sequence[CurveJob]) -> List[SweepResult]:

@@ -206,6 +206,43 @@ def test_corrupted_cache_entry_falls_back_to_recompute(table, tmp_path):
     assert curve3 == curve1 and third.stats.misses == 0
 
 
+@pytest.mark.parametrize("tear", ["truncate", "garbage"])
+def test_cache_corruption_evicts_both_storage_forms(tmp_path, tear):
+    """Truncated and garbage entries — plain ``.json`` and compressed
+    ``.json.z`` alike — are counted as errors+misses, unlinked, and
+    repopulated (the torn-write failure mode chaos.TornCache injects)."""
+    from repro.runner.cache import COMPRESS_THRESHOLD
+
+    cache = ResultCache(str(tmp_path))
+    k_small, k_big = "aa" * 32, "bb" * 32
+    small = {"v": 1}
+    big = {"blob": list(range(COMPRESS_THRESHOLD))}  # serializes > threshold
+    cache.put(k_small, small)
+    cache.put(k_big, big)
+    paths = (cache.path_for(k_small), cache.zpath_for(k_big))
+    for path in paths:
+        assert os.path.exists(path)
+        with open(path, "rb") as fh:
+            data = fh.read()
+        with open(path, "wb") as fh:
+            if tear == "truncate":
+                fh.write(data[: len(data) // 2])
+            else:
+                fh.write(b"\x00\xffgarbage\xfe")
+
+    before = cache.stats.errors
+    assert cache.get(k_small) is MISS
+    assert cache.get(k_big) is MISS
+    assert cache.stats.errors == before + 2  # both torn entries detected
+    for path in paths:
+        assert not os.path.exists(path)  # evicted, not left to re-fail
+
+    cache.put(k_small, small)
+    cache.put(k_big, big)
+    assert cache.get(k_small) == small
+    assert cache.get(k_big) == big
+
+
 def test_no_cache_escape_hatch(table, serial_curve, tmp_path):
     runner = Runner(parallel=1, cache_dir=str(tmp_path), no_cache=True)
     curve = runner.curve(
@@ -284,6 +321,12 @@ def test_generate_all_resumes_and_records_failures(tmp_path, monkeypatch):
     assert counts == {"done": 3, "skipped": 0, "failed": 2}
     frozen = json.loads((out / "experts20.json").read_text())
     assert set(frozen) == {"Kite-Small", "Kite-Medium", "DoubleButterfly"}
+    # The failure summary is loud and carries the full worker traceback,
+    # not just repr(exc).
+    joined = "\n".join(logs)
+    assert "2 artifact(s) FAILED" in joined
+    assert "RuntimeError: synthetic failure" in joined
+    assert "Traceback (most recent call last)" in joined
 
     # Rerun: finished entries skip, failures retry (cache was evicted).
     calls.clear()
