@@ -11,13 +11,26 @@ rate points, which clears the >=3x aggregate target.  The assertion
 floor is 3x (low-load points, where the worklist/sleep machinery
 additionally skips idle cycles outright, must clear 4x); the measured
 ratios are printed and persisted to ``BENCH_engine.json`` either way.
+
+The batched multi-replica benchmark adds the third engine: all
+``BATCH_SEEDS x len(DEFAULT_RATES)`` lanes of one topology advanced as
+a single SoA batch, in exact mode (bit-identical per-lane, asserted)
+and turbo mode (relaxed cross-replica draw order, KS-validated by
+``tests/test_batch.py``), which must clear a 10x aggregate floor over
+the reference.  Every record carries ``mode`` and ``batch_shape``
+fields so BENCH_engine.json distinguishes the exact and turbo rows.
 """
 
 import time
 
 from repro.experiments.fig6 import DEFAULT_RATES
 from repro.experiments.registry import roster, routed_entry
-from repro.sim import latency_throughput_curve, run_point, uniform_random
+from repro.sim import (
+    latency_throughput_curve,
+    run_batch,
+    run_point,
+    uniform_random,
+)
 
 REPS = 3  # interleaved repetitions; min cancels scheduler noise
 
@@ -25,6 +38,17 @@ REPS = 3  # interleaved repetitions; min cancels scheduler noise
 #: benchmark stays meaningful under CI timer noise).
 AGGREGATE_FLOOR = 3.0
 LOW_LOAD_FLOOR = 4.0
+
+#: Batched-engine benchmark: seed replicas per rate, and the floors for
+#: the two batch modes against the per-replica reference cost.  Turbo
+#: (relaxed draw-order, fused SoA loop over all lanes) must clear 10x;
+#: the exact batch (same per-replica loop, shared compile + trace
+#: machinery) is a sanity floor, with the real exact no-regression pin
+#: being the 3x aggregate test above.
+BATCH_SEEDS = 16
+TURBO_FLOOR = 10.0
+EXACT_BATCH_FLOOR = 2.0
+BATCH_REPS = 2  # the exact leg is ~10s/rep; min of 2 bounds the wall clock
 
 
 def _sweep(table, engine):
@@ -79,6 +103,8 @@ def test_engine_speedup_fig6_medium(once, bench_record):
           f"fast={tot_fast*1e3:7.1f} ms  speedup={agg:4.2f}x")
     bench_record(
         workload="fig6 medium uniform sweep (4x5)",
+        mode="exact",
+        batch_shape=[1, len(DEFAULT_RATES)],
         reference_s=tot_ref,
         fast_s=tot_fast,
         speedup=agg,
@@ -117,9 +143,88 @@ def test_engine_speedup_low_load_point(once, bench_record):
           f"fast={best['fast']*1e3:.1f} ms  speedup={ratio:.2f}x")
     bench_record(
         workload="single low-load point (rate 0.02)",
+        mode="exact",
+        batch_shape=[1, 1],
         reference_s=best["reference"],
         fast_s=best["fast"],
         speedup=ratio,
         floor=LOW_LOAD_FLOOR,
     )
     assert ratio >= LOW_LOAD_FLOOR, f"low-load speedup regressed: {ratio:.2f}x"
+
+
+def test_engine_speedup_batched_multi_replica(once, bench_record):
+    """Batched multi-replica engine on the fig6 medium sweep: S seed
+    replicas x every DEFAULT_RATE of one routed topology, advanced as
+    one SoA batch.  The reference cost is one measured single-seed
+    full-grid reference sweep scaled by S (the reference engine shares
+    nothing across seeds, so its cost is linear in replicas); both
+    batch legs run all S x R lanes with no early stop, so the
+    comparison is grid-for-grid.  Turbo must clear ``TURBO_FLOOR``;
+    the exact batch's first-seed lanes are asserted bit-identical to
+    the per-replica fast engine."""
+    entry = roster("medium", 20, allow_generate=False)[0]
+    table = routed_entry(entry, seed=0)
+    traffic = uniform_random(20)
+    rates = [float(r) for r in DEFAULT_RATES]
+    lanes = [(r, s) for s in range(BATCH_SEEDS) for r in rates]
+    budget = dict(warmup=400, measure=1500)
+
+    def harness():
+        best = {"reference": float("inf"), "exact": float("inf"),
+                "turbo": float("inf")}
+        sample = {}
+        for _ in range(BATCH_REPS):
+            t0 = time.perf_counter()
+            latency_throughput_curve(
+                table, traffic, rates, seed=0, engine="reference",
+                stop_after_saturation=False, **budget,
+            )
+            best["reference"] = min(best["reference"],
+                                    time.perf_counter() - t0)
+            for mode in ("exact", "turbo"):
+                t0 = time.perf_counter()
+                sample[mode] = run_batch(
+                    table, traffic, lanes, mode=mode, **budget,
+                )
+                best[mode] = min(best[mode], time.perf_counter() - t0)
+        return best, sample
+
+    best, sample = once(harness)
+
+    for i, r in enumerate(rates):  # first-seed slice of the exact batch
+        want = run_point(table, traffic, r, seed=0, engine="fast", **budget)
+        assert sample["exact"][i] == want, r
+
+    ref_agg = best["reference"] * BATCH_SEEDS
+    turbo_speedup = ref_agg / best["turbo"]
+    exact_speedup = ref_agg / best["exact"]
+    shape = [BATCH_SEEDS, len(rates)]
+    print(f"\nbatched multi-replica sweep ({entry.name}, "
+          f"{shape[0]}x{shape[1]} lanes)")
+    print(f"  reference {best['reference']:.2f}s/seed -> "
+          f"{ref_agg:.1f}s for {BATCH_SEEDS} seeds")
+    print(f"  exact batch {best['exact']:.2f}s  speedup "
+          f"{exact_speedup:.2f}x")
+    print(f"  turbo batch {best['turbo']:.2f}s  speedup "
+          f"{turbo_speedup:.2f}x")
+    bench_record(
+        workload=f"fig6 medium batched sweep ({entry.name})",
+        mode="turbo",
+        batch_shape=shape,
+        reference_per_seed_s=best["reference"],
+        reference_s=ref_agg,
+        exact_batch_s=best["exact"],
+        turbo_s=best["turbo"],
+        exact_batch_speedup=exact_speedup,
+        speedup=turbo_speedup,
+        floor=TURBO_FLOOR,
+        exact_batch_floor=EXACT_BATCH_FLOOR,
+    )
+    assert turbo_speedup >= TURBO_FLOOR, (
+        f"turbo batch speedup {turbo_speedup:.2f}x < {TURBO_FLOOR}x "
+        f"aggregate over the reference on {shape} lanes"
+    )
+    assert exact_speedup >= EXACT_BATCH_FLOOR, (
+        f"exact batch speedup {exact_speedup:.2f}x < {EXACT_BATCH_FLOOR}x"
+    )

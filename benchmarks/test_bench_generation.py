@@ -87,11 +87,13 @@ def test_generation_portfolio_parallel_speedup(once, bench_record, require_paral
         for p, r in zip(POINTS, results):
             r.topology.check(radix=p.radix, link_class=p.link_class)
 
+    exact_wave_workers = int(parallel_waves.get("wave2_workers", 0))
     bench_record(
         points=len(POINTS),
         n_routers=sorted({p.n for p in POINTS}),
         workers=workers,
         effective_workers=effective,
+        exact_wave_workers=exact_wave_workers,
         serial_wall_s=round(serial_s, 3),
         parallel_wall_s=round(parallel_s, 3),
         serial_wave_s={k: round(v, 3) for k, v in serial_waves.items()},
@@ -100,6 +102,11 @@ def test_generation_portfolio_parallel_speedup(once, bench_record, require_paral
         floor=SPEEDUP_FLOOR,
     )
     require_parallel(effective, context=f"{workers} configured")
+    # The exact wave is where the degenerate-fanout blind spot lived:
+    # an aggregate guard passes when wave 1 fans out but the exact
+    # solves serialize, so the wave-2 fanout is guarded on its own.
+    require_parallel(exact_wave_workers,
+                     context="portfolio exact wave-2 fanout")
     assert speedup >= SPEEDUP_FLOOR, (
         f"runner-parallel portfolio only {speedup:.2f}x faster than serial "
         f"(floor {SPEEDUP_FLOOR}x with {effective} effective workers)"

@@ -16,10 +16,16 @@ Commands mirror the library's pipeline:
 ``--parallel N`` (fan sim points across N worker processes; 0 = all
 cores), ``--cache-dir PATH`` (on-disk result cache location, default
 ``$REPRO_CACHE_DIR`` or ``.repro-cache``), ``--no-cache`` (bypass the
-cache entirely), and ``--engine fast|reference`` (the default fast
-engine — flat arrays, pre-generated vectorized traffic traces, one
-compiled network shared per routed topology — or the reference oracle;
-identical results either way).  The flags cover the open-loop sweeps
+cache entirely), and ``--engine fast|reference|turbo`` (the default
+fast engine — flat arrays, pre-generated vectorized traffic traces, one
+compiled network shared per routed topology — the reference oracle
+with identical results, or the batched turbo engine: statistically
+validated against the reference rather than bit-exact, and without
+fault-schedule support).  ``simulate`` additionally takes ``--seeds N``
+(N seed replicas per rate, advanced together by the batched
+multi-replica engine, reported as mean +- 95% CI) and ``--batch``
+(force the batched path for a single seed).  The flags cover the
+open-loop sweeps
 (fig6/7/10/11) and the full-system closed-loop PARSEC sweep (``repro
 run fig8``), whose (benchmark, topology) runs fan out and cache the
 same way.  Results are bit-identical at any worker count; a cached
@@ -251,26 +257,66 @@ def cmd_simulate(args) -> int:
         except ValueError as exc:
             raise SystemExit(str(exc))
     rates = [args.max_rate * (k + 1) / args.points for k in range(args.points)]
+    n_seeds = max(1, args.seeds)
+    use_batch = args.batch or n_seeds > 1
+    if faults is not None and args.engine == "turbo":
+        raise SystemExit(
+            "--engine turbo does not support --faults; use the exact "
+            "engines (fast/reference) for degraded networks"
+        )
+    if faults is not None and use_batch:
+        raise SystemExit(
+            "--seeds/--batch route the sweep through the batched engine, "
+            "which does not support --faults; drop one or the other"
+        )
     runner = _make_runner(args)
     from .runner import QuarantineError
 
     try:
-        curve = runner.curve(
-            table, spec, rates,
-            link_class=args.link_class or topo.link_class,
-            warmup=args.warmup, measure=args.measure, seed=args.seed,
-            faults=faults,
-        )
+        if use_batch:
+            mode = "turbo" if args.engine == "turbo" else "exact"
+            seeds = [args.seed + k for k in range(n_seeds)]
+            curves = runner.multi_seed_curves(
+                table, spec, rates, seeds,
+                link_class=args.link_class or topo.link_class,
+                warmup=args.warmup, measure=args.measure, mode=mode,
+            )
+            curve = curves[seeds[0]]
+        else:
+            curve = runner.curve(
+                table, spec, rates,
+                link_class=args.link_class or topo.link_class,
+                warmup=args.warmup, measure=args.measure, seed=args.seed,
+                faults=faults,
+            )
     except QuarantineError as exc:
         _report_quarantine(runner, exc)
         _print_health(runner, args)
         return 2
-    print(f"{'offered':>8} {'latency(cyc)':>13} {'accepted':>9} {'saturated':>9}")
-    for p in curve.points:
-        print(f"{p.offered_rate:8.3f} {p.avg_latency_cycles:13.1f} "
-              f"{p.throughput_packets_node_cycle:9.3f} {str(p.saturated):>9}")
-    print(f"saturation throughput: {curve.saturation_throughput_ns:.3f} "
-          f"packets/node/ns @ {curve.clock_ghz} GHz")
+    if n_seeds > 1:
+        from .sim import summarize_replicas
+
+        print(f"{'offered':>8} {'latency(cyc)':>21} {'accepted':>19} {'n':>3}")
+        for rp in summarize_replicas(curves):
+            lat = ("saturated".rjust(21)
+                   if rp.latency_mean != rp.latency_mean  # NaN: no finite lanes
+                   else f"{rp.latency_mean:12.1f} +- {rp.latency_ci95:5.1f}")
+            print(f"{rp.offered_rate:8.3f} {lat} "
+                  f"{rp.throughput_mean:10.3f} +- {rp.throughput_ci95:5.3f} "
+                  f"{rp.n_replicas:3d}")
+        sats = [c.saturation_throughput_ns for c in curves.values()]
+        mean_sat = sum(sats) / len(sats)
+        spread = max(sats) - min(sats)
+        print(f"saturation throughput: {mean_sat:.3f} packets/node/ns "
+              f"(spread {spread:.3f} over {n_seeds} seeds) "
+              f"@ {curve.clock_ghz} GHz")
+    else:
+        print(f"{'offered':>8} {'latency(cyc)':>13} {'accepted':>9} {'saturated':>9}")
+        for p in curve.points:
+            print(f"{p.offered_rate:8.3f} {p.avg_latency_cycles:13.1f} "
+                  f"{p.throughput_packets_node_cycle:9.3f} {str(p.saturated):>9}")
+        print(f"saturation throughput: {curve.saturation_throughput_ns:.3f} "
+              f"packets/node/ns @ {curve.clock_ghz} GHz")
     if not args.no_cache:
         print(runner.stats.summary(), file=sys.stderr)
     _print_health(runner, args)
@@ -403,7 +449,7 @@ def cmd_run(args) -> int:
         for name, desc in list_experiments():
             print(f"{name:<16} {desc}")
         print()
-        print("sim engines: fast (default) | reference  (--engine)")
+        print("sim engines: fast (default) | reference | turbo  (--engine)")
         print(f"simulate traffic patterns: {', '.join(TRAFFIC_CHOICES)}")
         return 0
     runner = _make_runner(args)
@@ -500,11 +546,13 @@ def _add_runner_flags(parser: argparse.ArgumentParser) -> None:
         help="bypass the result cache: recompute everything, store nothing",
     )
     parser.add_argument(
-        "--engine", choices=("fast", "reference"), default="fast",
+        "--engine", choices=("fast", "reference", "turbo"), default="fast",
         help="simulation engine for open-loop sweeps and closed-loop "
              "full-system runs: the fast engine (default; flat arrays, "
-             "pre-generated traffic traces, compiled-network reuse) or "
-             "the reference oracle; both produce identical results",
+             "pre-generated traffic traces, compiled-network reuse), the "
+             "reference oracle (bit-identical to fast), or the batched "
+             "turbo engine (statistically validated against the "
+             "reference, not bit-exact; no --faults support)",
     )
     parser.add_argument(
         "--task-timeout", type=float, default=None, metavar="SEC",
@@ -586,6 +634,16 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--warmup", type=int, default=300)
     s.add_argument("--measure", type=int, default=1200)
     s.add_argument("--seed", type=int, default=0)
+    s.add_argument("--seeds", type=int, default=1, metavar="N",
+                   help="seed replicas per rate (seeds SEED..SEED+N-1); "
+                        "N>1 runs every replica through the batched "
+                        "multi-replica engine in fused seed x rate waves "
+                        "and prints mean +- 95%% CI per rate "
+                        "(incompatible with --faults)")
+    s.add_argument("--batch", action="store_true",
+                   help="route the sweep through the batched engine even "
+                        "for a single seed (exact mode unless --engine "
+                        "turbo; incompatible with --faults)")
     _add_runner_flags(s)
     s.set_defaults(fn=cmd_simulate)
 

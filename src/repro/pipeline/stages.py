@@ -98,8 +98,12 @@ def generate_points(
     strategy failed raises with the collected errors.
 
     Pass a dict as ``timings`` to receive per-wave wall-clock seconds
-    (``wave1_s``, ``wave2_s``) — observability for the generation
-    benchmark, so scale regressions are attributable to a wave.
+    (``wave1_s``, ``wave2_s``) and the worker count each wave could
+    actually fan out to (``wave1_workers``, ``wave2_workers`` — the
+    pool's effective workers capped by the wave's task count) —
+    observability for the generation benchmark, so scale regressions
+    are attributable to a wave and a degenerate pool on the exact wave
+    is detectable rather than silently folded into the aggregate.
     """
     import time as _time
 
@@ -119,6 +123,7 @@ def generate_points(
         wave1_results = r.run_tasks("generation", [pl for _, pl in wave1])
         if timings is not None:
             timings["wave1_s"] = _time.perf_counter() - wave_t0
+            timings["wave1_workers"] = min(r.effective_parallel, len(wave1))
         for (i, payload), res in zip(wave1, wave1_results):
             results[i] = res
             err = _failure(res)
@@ -151,11 +156,13 @@ def generate_points(
                 wave2.append((i, _tasks.generation_payload(exact)))
         if timings is not None:
             timings["wave2_s"] = 0.0
+            timings["wave2_workers"] = 0
         if wave2:
             wave_t0 = _time.perf_counter()
             wave2_results = r.run_tasks("generation", [pl for _, pl in wave2])
             if timings is not None:
                 timings["wave2_s"] = _time.perf_counter() - wave_t0
+                timings["wave2_workers"] = min(r.effective_parallel, len(wave2))
             for (i, _payload), res in zip(wave2, wave2_results):
                 err = _failure(res)
                 if err is not None:

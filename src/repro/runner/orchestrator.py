@@ -424,6 +424,138 @@ class Runner:
         )
         return self.curves([job])[0]
 
+    def batch_points(
+        self,
+        table: RoutingTable,
+        traffic: tasks.TrafficSpec,
+        lanes: Sequence[Tuple[float, int]],
+        warmup: int,
+        measure: int,
+        mode: str = "turbo",
+        sim_kw: Optional[Dict[str, Any]] = None,
+    ) -> List[Any]:
+        """Measure ``(rate, seed)`` lanes through the batched engine with
+        *per-point* cache identity.
+
+        Every lane is keyed as the single ``sim_point`` payload it is
+        equivalent to (engine ``"fast"`` for exact mode — bit-identical
+        by the batch contract — and ``"turbo"`` for turbo, whose lanes
+        are batch-composition-invariant).  Cached lanes are answered
+        from the store; only the misses run, chunked into ``sim_batch``
+        tasks across the pool, and each fresh lane is written back under
+        its per-point key — so a later single-point lookup hits the
+        batched result, and a batched lookup hits earlier single points.
+        """
+        sim_kw = dict(sim_kw or {})
+        engine = "fast" if mode == "exact" else "turbo"
+        lanes = [(float(r), int(s)) for r, s in lanes]
+        point_keys = [
+            task_key("sim_point", tasks.sim_point_payload(
+                table, traffic, r, warmup, measure, s, sim_kw,
+                engine=engine,
+            ))
+            for r, s in lanes
+        ]
+        results: List[Any] = [MISS] * len(lanes)
+        if self.cache is not None:
+            for i, key in enumerate(point_keys):
+                hit = self.cache.get(key)
+                if hit is not MISS:
+                    results[i] = tasks.stats_from_dict(hit)
+        todo = [i for i, r in enumerate(results) if r is MISS]
+        if todo:
+            slot: Dict[str, int] = {}
+            uniq: List[int] = []
+            for i in todo:
+                if point_keys[i] not in slot:
+                    slot[point_keys[i]] = len(uniq)
+                    uniq.append(i)
+            n_chunks = max(1, min(self.executor.workers, len(uniq)))
+            step = -(-len(uniq) // n_chunks)
+            groups = [
+                uniq[j: j + step] for j in range(0, len(uniq), step)
+            ]
+            payloads = [
+                tasks.sim_batch_payload(
+                    table, traffic, [lanes[i] for i in g],
+                    warmup, measure, mode, sim_kw,
+                )
+                for g in groups
+            ]
+            outs = self.run_tasks("sim_batch", payloads)
+            fresh: Dict[str, Any] = {}
+            for g, stats in zip(groups, outs):
+                for i, st in zip(g, stats):
+                    fresh[point_keys[i]] = st
+                    if self.cache is not None:
+                        self.cache.put(
+                            point_keys[i], tasks.stats_to_dict(st)
+                        )
+            for i in todo:
+                results[i] = fresh[point_keys[i]]
+        return results
+
+    def multi_seed_curves(
+        self,
+        table: RoutingTable,
+        traffic: tasks.TrafficSpec,
+        rates: Sequence[float],
+        seeds: Sequence[int],
+        name: Optional[str] = None,
+        link_class: Optional[str] = None,
+        warmup: int = 500,
+        measure: int = 2000,
+        mode: str = "turbo",
+        stop_after_saturation: bool = True,
+        sim_kw: Optional[Dict[str, Any]] = None,
+    ) -> Dict[int, SweepResult]:
+        """One curve per seed, advancing all live seeds one rate per
+        batched wave.
+
+        The batch engine fuses the S replicas of each rate into one
+        call (:meth:`batch_points`, so lanes cache under per-point
+        keys), while the wave structure keeps the serial sweep's
+        early-stop economy: a seed retires as soon as its ordered
+        prefix saturates, exactly like :meth:`curves` does per curve.
+        """
+        rates = [float(r) for r in rates]
+        seeds = [int(s) for s in seeds]
+        name = name or table.topology.name
+        link_class = link_class or table.topology.link_class
+        collected: Dict[int, List[Any]] = {s: [] for s in seeds}
+        cursor = {s: 0 for s in seeds}
+        live = list(seeds) if rates else []
+        while live:
+            wave = [(rates[cursor[s]], s) for s in live]
+            stats = self.batch_points(
+                table, traffic, wave, warmup, measure,
+                mode=mode, sim_kw=sim_kw,
+            )
+            for (_r, s), st in zip(wave, stats):
+                collected[s].append(st)
+                cursor[s] += 1
+            nxt = []
+            for s in live:
+                partial = assemble_curve(
+                    rates, collected[s], name=name, link_class=link_class,
+                    stop_after_saturation=stop_after_saturation,
+                )
+                saturated = (
+                    bool(partial.points) and partial.points[-1].saturated
+                )
+                if cursor[s] < len(rates) and not (
+                    stop_after_saturation and saturated
+                ):
+                    nxt.append(s)
+            live = nxt
+        return {
+            s: assemble_curve(
+                rates, collected[s], name=name, link_class=link_class,
+                stop_after_saturation=stop_after_saturation,
+            )
+            for s in seeds
+        }
+
     def saturations(self, jobs: Sequence[SaturationJob]) -> List[float]:
         """Fan whole saturation searches across workers (Figs. 7/11)."""
         payloads = [

@@ -77,8 +77,15 @@ from ..topology import Layout, Topology
 #: the ``lrd`` Pareto shape (``alpha``), and the windowed ``recovery``
 #: task family (transient drain/settling measurement) joins.  Existing
 #: fault-free closed-loop results are unchanged (differential suites pin
-#: them), but the payload surface grew, so provenance bumps.
-TASK_VERSION = 8
+#: them), but the payload surface grew, so provenance bumps.  v9: the
+#: batched multi-replica engine — the ``sim_batch`` task family (S x R
+#: lanes of one table through :func:`repro.sim.batch.run_batch`) joins,
+#: and sim-point payloads may carry ``engine="turbo"``.  Existing
+#: per-point results are unchanged (exact batch lanes are bit-identical
+#: to ``sim_point`` runs, and batched results cross-populate per-lane
+#: ``sim_point`` keys — see :meth:`Runner.batch_points`), but the
+#: payload surface grew, so provenance bumps.
+TASK_VERSION = 9
 
 
 # ---------------------------------------------------------------------------
@@ -381,6 +388,58 @@ def sim_point_task(payload: Dict[str, Any]) -> Dict[str, Any]:
         **payload.get("sim_kw", {}),
     )
     return stats_to_dict(stats)
+
+
+def sim_batch_payload(
+    table: RoutingTable,
+    traffic: TrafficSpec,
+    lanes: List[Tuple[float, int]],
+    warmup: int,
+    measure: int,
+    mode: str = "turbo",
+    sim_kw: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """S x R ``(rate, seed)`` lanes of one table in one engine call.
+
+    Lane order is part of the payload (results decode positionally), but
+    a lane's result depends only on its own ``(rate, seed)`` — the batch
+    engine guarantees batch composition never changes a lane — which is
+    what lets :meth:`Runner.batch_points` cross-populate per-lane
+    ``sim_point`` cache keys from one batched result.
+    """
+    return {
+        "task": "sim_batch",
+        "version": TASK_VERSION,
+        "table": encode_table(table),
+        "traffic": traffic.as_dict(),
+        "lanes": [[float(r), int(s)] for r, s in lanes],
+        "warmup": int(warmup),
+        "measure": int(measure),
+        "mode": str(mode),
+        "sim_kw": dict(sim_kw or {}),
+    }
+
+
+def sim_batch_task(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker entry: one batched multi-lane run, stats in lane order."""
+    from ..sim.batch import run_batch
+
+    table = cached_table(payload["table"])
+    traffic = TrafficSpec.from_dict(payload["traffic"]).build()
+    stats = run_batch(
+        table,
+        traffic,
+        [(r, s) for r, s in payload["lanes"]],
+        payload["warmup"],
+        payload["measure"],
+        mode=payload.get("mode", "turbo"),
+        **payload.get("sim_kw", {}),
+    )
+    return {"stats": [stats_to_dict(st) for st in stats]}
+
+
+def batch_stats_from_dict(doc: Dict[str, Any]) -> List[SimStats]:
+    return [stats_from_dict(d) for d in doc["stats"]]
 
 
 def sat_search_payload(
@@ -853,6 +912,7 @@ def gap_curve_from_dict(doc: Dict[str, Any]):
 #: JSON value (fresh or cached) back to the caller-facing object.
 TASK_FUNCTIONS = {
     "sim_point": (sim_point_task, stats_from_dict),
+    "sim_batch": (sim_batch_task, batch_stats_from_dict),
     "sat_search": (sat_search_task, float),
     "closed_loop": (closed_loop_task, workload_result_from_dict),
     "recovery": (recovery_task, recovery_result_from_dict),

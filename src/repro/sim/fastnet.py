@@ -106,6 +106,11 @@ _LOST = -3  # event key: flow unroutable in the current fault epoch
 
 def resolve_engine(engine: str):
     """Map an engine name to its simulator class."""
+    if engine == "turbo" and "turbo" not in ENGINES:
+        # The batched module registers the turbo adapter on import;
+        # resolve it lazily so worker processes that only import this
+        # module still honor engine="turbo" task payloads.
+        from . import batch  # noqa: F401  (registers ENGINES["turbo"])
     try:
         return ENGINES[engine]
     except KeyError:

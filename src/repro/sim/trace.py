@@ -33,7 +33,8 @@ only RNG consumer in both engines).
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -403,3 +404,161 @@ class TraceStream:
             np.array(dsts, dtype=np.int64),
             np.array(sizes, dtype=np.int64),
         )
+
+
+# -- batched pregeneration (turbo mode) --------------------------------------
+@dataclass
+class BatchTrace:
+    """Injection events for B ``(rate, seed)`` lanes with a leading batch axis.
+
+    Events for every lane are pre-generated in one vectorized pass and
+    stored flat, lane-major, sorted ``(node, cycle)`` within each lane so
+    the batched engine can walk each source node's queue with a single
+    per-``(lane, node)`` cursor.  ``seg_start[b, v] : seg_end[b, v]``
+    delimits lane ``b`` node ``v``'s events; ``lane_bounds[b] :
+    lane_bounds[b + 1]`` delimits lane ``b`` as a whole.
+
+    Unlike :class:`TraceStream`, the draws here are *not* draw-order
+    compatible with the reference engine: each lane consumes its own
+    ``default_rng(seed)`` stream in bulk array order (turbo mode's
+    documented relaxation).  Burst gates still come from the spec-seeded
+    dedicated chain, so the gate sequence is shared by every lane and
+    identical to the one the exact engines consume.
+    """
+
+    n_lanes: int
+    n_nodes: int
+    cycles: int
+    ev_cycle: np.ndarray  # (E,) int64 — generation cycle of each event
+    ev_src: np.ndarray  # (E,) int64
+    ev_dst: np.ndarray  # (E,) int64
+    ev_size: np.ndarray  # (E,) int64 flits
+    seg_start: np.ndarray  # (B, n) int64 indices into the flat arrays
+    seg_end: np.ndarray  # (B, n) int64
+    lane_bounds: np.ndarray  # (B + 1,) int64
+
+    def offered_in(self, lo: int, hi: int) -> np.ndarray:
+        """Per-lane event count with generation cycle in ``[lo, hi)``."""
+        out = np.zeros(self.n_lanes, dtype=np.int64)
+        for b in range(self.n_lanes):
+            seg = self.ev_cycle[self.lane_bounds[b] : self.lane_bounds[b + 1]]
+            out[b] = int(((seg >= lo) & (seg < hi)).sum())
+        return out
+
+
+def _batch_dests(
+    spec, srcs: np.ndarray, rng: np.random.Generator, n: int
+) -> np.ndarray:
+    """Vectorized destination draws for one lane's event list."""
+    k = srcs.size
+    if spec.kind == "table":
+        return spec.table[srcs]
+    if spec.kind == "uniform":
+        d = rng.integers(0, n - 1, size=k)
+        return d + (d >= srcs)
+    if spec.kind == "memory":
+        bounds = spec.bounds[srcs]
+        if (bounds <= 0).any():
+            raise ValueError("memory pattern with an empty candidate row")
+        return spec.table[srcs, rng.integers(bounds)]
+    # hotspot: a hot_fraction coin picks a hotspot row when the source
+    # has candidates, else a uniform non-self draw.
+    bounds = spec.bounds[srcs]
+    eff_hot = (rng.random(k) < spec.hot_fraction) & (bounds > 0)
+    hot = spec.table[srcs, rng.integers(np.maximum(bounds, 1))]
+    d = rng.integers(0, n - 1, size=k)
+    return np.where(eff_hot, hot, d + (d >= srcs))
+
+
+def pregenerate_batch(
+    traffic: TrafficPattern,
+    n_nodes: int,
+    lanes: Sequence[Tuple[float, int]],
+    cycles: int,
+) -> BatchTrace:
+    """Pre-generate ``cycles`` cycles of injection events for all lanes.
+
+    ``lanes`` is the batch: one ``(rate, seed)`` pair per replica.  Each
+    lane draws per-cycle Bernoulli/Poisson-floor counts, destinations,
+    and sizes in whole-array passes from its own ``default_rng(seed)``;
+    rates ``>= 1`` (or burst-scaled past 1) inject ``floor(eff)`` packets
+    per node per cycle plus a Bernoulli remainder, matching the exact
+    engines' count law with a relaxed draw order.
+    """
+    spec = traffic.dest_spec
+    if spec is None:
+        raise ValueError(
+            f"pattern {traffic.name!r} has no dest_spec; batched "
+            f"pregeneration needs a vectorizable destination law"
+        )
+    n = int(n_nodes)
+    C = int(cycles)
+    B = len(lanes)
+    gates = (
+        traffic.burst.state(n).rows(0, C) if traffic.burst is not None else None
+    )
+    node_ids = np.arange(n, dtype=np.int64)
+    cyc_tile = np.tile(np.arange(C, dtype=np.int64), n)
+
+    chunks_cycle: List[np.ndarray] = []
+    chunks_src: List[np.ndarray] = []
+    chunks_dst: List[np.ndarray] = []
+    chunks_size: List[np.ndarray] = []
+    seg_start = np.zeros((B, n), dtype=np.int64)
+    seg_end = np.zeros((B, n), dtype=np.int64)
+    lane_bounds = np.zeros(B + 1, dtype=np.int64)
+    off = 0
+    for b, (rate, seed) in enumerate(lanes):
+        rate = float(rate)
+        rng = np.random.default_rng(int(seed))
+        if rate <= 0.0:
+            seg_start[b] = seg_end[b] = off
+            lane_bounds[b + 1] = off
+            continue
+        if gates is None:
+            whole = int(rate)
+            cnt = whole + (rng.random((C, n)) < (rate - whole)).astype(
+                np.int64
+            )
+        else:
+            eff = rate * gates
+            whole_m = np.floor(eff)
+            cnt = whole_m.astype(np.int64) + (
+                rng.random((C, n)) < (eff - whole_m)
+            ).astype(np.int64)
+        cnt_t = cnt.T  # (n, C): node-major so each segment is cycle-sorted
+        node_tot = cnt_t.sum(axis=1)
+        k = int(node_tot.sum())
+        seg_end_b = np.cumsum(node_tot) + off
+        seg_start[b] = seg_end_b - node_tot
+        seg_end[b] = seg_end_b
+        lane_bounds[b + 1] = off + k
+        off += k
+        if k == 0:
+            continue
+        srcs = np.repeat(node_ids, node_tot)
+        cycs = np.repeat(cyc_tile, cnt_t.ravel())
+        dsts = _batch_dests(spec, srcs, rng, n).astype(np.int64)
+        sizes = np.where(
+            rng.random(k) < traffic.data_fraction, DATA_FLITS, CONTROL_FLITS
+        ).astype(np.int64)
+        chunks_cycle.append(cycs)
+        chunks_src.append(srcs)
+        chunks_dst.append(dsts)
+        chunks_size.append(sizes)
+
+    cat = lambda xs: (
+        np.concatenate(xs) if xs else np.empty(0, dtype=np.int64)
+    )
+    return BatchTrace(
+        n_lanes=B,
+        n_nodes=n,
+        cycles=C,
+        ev_cycle=cat(chunks_cycle),
+        ev_src=cat(chunks_src),
+        ev_dst=cat(chunks_dst),
+        ev_size=cat(chunks_size),
+        seg_start=seg_start,
+        seg_end=seg_end,
+        lane_bounds=lane_bounds,
+    )

@@ -1,0 +1,310 @@
+"""Batched multi-replica engine suite: exact differential + turbo KS gate.
+
+Two contracts from ``repro.sim.batch``:
+
+* **exact mode** is *bit-identical* to running each ``(rate, seed)``
+  lane through the per-replica fast engine — pinned here across traffic
+  patterns, rates, and seeds, and through the batched sweep helpers
+  (``latency_throughput_curves_batch``, ``find_saturation_batch``).
+
+* **turbo mode** relaxes cross-replica draw-order compatibility and is
+  validated *statistically*: per-point two-sample Kolmogorov–Smirnov
+  tests on the latency and throughput distributions across seed
+  replicas, turbo vs the reference distribution, at ``ALPHA = 0.01``
+  (fixed seeds, so the suite is deterministic — these exact p-values
+  are pinned green).  The reference samples are drawn through exact
+  mode, i.e. the fast engine, which ``tests/test_fastnet.py`` pins
+  bit-identical to the reference oracle; one anchor test here
+  re-checks that chain directly against ``NetworkSimulator``.
+
+The KS gate covers stationary traffic plus the bursty (``mmpp``) and
+long-range-dependent (``lrd``) burst modulations, because turbo's
+per-lane RNG relaxation must not disturb the shared burst gates.
+"""
+
+import pytest
+
+from repro.routing import assign_vcs, build_routing_table, ndbt_route
+from repro.sim import (
+    BATCH_MODES,
+    ENGINES,
+    CompiledNetwork,
+    FastNetworkSimulator,
+    NetworkSimulator,
+    TurboNetworkSimulator,
+    find_saturation,
+    find_saturation_batch,
+    hotspot,
+    latency_throughput_curve,
+    latency_throughput_curves_batch,
+    resolve_engine,
+    run_batch,
+    run_point,
+    shuffle_pattern,
+    uniform_random,
+)
+from repro.sim.burst import BurstSpec
+from repro.topology import LAYOUT_4X5, folded_torus
+
+#: Significance level for the turbo KS gate.  With fixed seeds every
+#: p-value below is deterministic; a failure means the turbo engine's
+#: distributions actually moved, not statistical bad luck.
+ALPHA = 0.01
+
+N = LAYOUT_4X5.n
+
+
+def _table():
+    topo = folded_torus(LAYOUT_4X5)
+    routes = ndbt_route(topo, seed=0)
+    vca = assign_vcs(routes, max_vcs=8, seed=0)
+    return build_routing_table(routes, vca)
+
+
+@pytest.fixture(scope="module")
+def table():
+    return _table()
+
+
+# ---------------------------------------------------------------------------
+# Exact mode: bit-identical to the per-replica fast engine.
+# ---------------------------------------------------------------------------
+
+
+class TestExactDifferential:
+    RATES = (0.05, 0.15, 0.30)
+    SEEDS = (0, 1)
+    BUDGET = dict(warmup=150, measure=400)
+
+    def _patterns(self):
+        return [
+            uniform_random(N),
+            shuffle_pattern(N),
+            hotspot(N, LAYOUT_4X5.mc_routers()),
+            uniform_random(N).with_burst(
+                BurstSpec(kind="mmpp", p_on=0.1, p_off=0.3)
+            ),
+        ]
+
+    @pytest.mark.parametrize("pattern_idx", range(4))
+    def test_lanes_bit_identical(self, table, pattern_idx):
+        traffic = self._patterns()[pattern_idx]
+        lanes = [(r, s) for s in self.SEEDS for r in self.RATES]
+        batched = run_batch(table, traffic, lanes, mode="exact", **self.BUDGET)
+        compiled = CompiledNetwork.for_table(table)
+        for (rate, seed), got in zip(lanes, batched):
+            want = FastNetworkSimulator(
+                table, traffic, rate, seed=seed, compiled=compiled
+            ).run(**self.BUDGET)
+            assert got == want, (traffic.name, rate, seed)
+
+    def test_curves_batch_matches_per_seed_curve(self, table):
+        traffic = uniform_random(N)
+        rates = [0.05, 0.15, 0.30]
+        seeds = [0, 1, 2]
+        curves = latency_throughput_curves_batch(
+            table, traffic, rates, seeds, mode="exact", **self.BUDGET
+        )
+        for s in seeds:
+            want = latency_throughput_curve(
+                table, traffic, rates, seed=s, **self.BUDGET
+            )
+            assert curves[s] == want, s
+
+    def test_find_saturation_batch_matches_per_seed(self, table):
+        traffic = uniform_random(N)
+        seeds = [0, 1]
+        kw = dict(iters=4, warmup=200, measure=500)
+        sats = find_saturation_batch(table, traffic, seeds, **kw)
+        for s in seeds:
+            assert sats[s] == find_saturation(table, traffic, seed=s, **kw), s
+
+
+# ---------------------------------------------------------------------------
+# Turbo mode: statistical validation (two-sample KS per point).
+# ---------------------------------------------------------------------------
+
+#: Traffic gates the KS suite must cover: stationary, bursty (mmpp),
+#: and long-range-dependent on/off sources.
+GATES = {
+    "stationary": None,
+    "mmpp": BurstSpec(kind="mmpp", p_on=0.1, p_off=0.3),
+    "lrd": BurstSpec(kind="lrd", p_on=0.1, p_off=0.25, alpha=1.4),
+}
+
+
+class TestTurboKSValidation:
+    RATES = (0.06, 0.12)
+    SEEDS = tuple(range(10))
+    BUDGET = dict(warmup=200, measure=600)
+
+    @pytest.mark.parametrize("gate", sorted(GATES))
+    def test_latency_and_throughput_distributions(self, table, gate):
+        from scipy.stats import ks_2samp
+
+        traffic = uniform_random(N).with_burst(GATES[gate])
+        lanes = [(r, s) for r in self.RATES for s in self.SEEDS]
+        ref = run_batch(table, traffic, lanes, mode="exact", **self.BUDGET)
+        turbo = run_batch(table, traffic, lanes, mode="turbo", **self.BUDGET)
+        k = len(self.SEEDS)
+        for i, rate in enumerate(self.RATES):
+            r_pts = ref[i * k:(i + 1) * k]
+            t_pts = turbo[i * k:(i + 1) * k]
+            lat = ks_2samp(
+                [p.avg_latency_cycles for p in r_pts],
+                [p.avg_latency_cycles for p in t_pts],
+            )
+            thr = ks_2samp(
+                [p.throughput_packets_node_cycle for p in r_pts],
+                [p.throughput_packets_node_cycle for p in t_pts],
+            )
+            assert lat.pvalue >= ALPHA, (gate, rate, "latency", lat.pvalue)
+            assert thr.pvalue >= ALPHA, (gate, rate, "throughput", thr.pvalue)
+
+    def test_reference_anchor(self, table):
+        """The KS reference leg (exact mode = fast engine) really is the
+        reference distribution: fast == reference oracle, bit-for-bit."""
+        traffic = uniform_random(N)
+        a = run_point(table, traffic, 0.1, warmup=100, measure=250,
+                      seed=0, engine="reference")
+        b = run_batch(table, traffic, [(0.1, 0)], warmup=100, measure=250,
+                      mode="exact")[0]
+        assert a == b
+        assert isinstance(
+            NetworkSimulator(table, traffic, 0.1), NetworkSimulator
+        )
+
+
+# ---------------------------------------------------------------------------
+# Turbo semantics: lane invariance, registry, restrictions.
+# ---------------------------------------------------------------------------
+
+
+class TestTurboSemantics:
+    BUDGET = dict(warmup=150, measure=400)
+
+    def test_lane_invariance(self, table):
+        """A lane's turbo result is independent of its batchmates."""
+        traffic = uniform_random(N)
+        alone = run_batch(table, traffic, [(0.12, 3)], mode="turbo",
+                          **self.BUDGET)[0]
+        mixed = run_batch(
+            table, traffic, [(0.05, 0), (0.12, 3), (0.30, 1)],
+            mode="turbo", **self.BUDGET,
+        )[1]
+        assert alone == mixed
+
+    def test_engine_registry(self):
+        assert ENGINES["turbo"] is TurboNetworkSimulator
+        assert resolve_engine("turbo") is TurboNetworkSimulator
+        assert BATCH_MODES == ("exact", "turbo")
+
+    def test_run_point_engine_turbo_is_deterministic(self, table):
+        traffic = uniform_random(N)
+        a = run_point(table, traffic, 0.1, seed=2, engine="turbo",
+                      **self.BUDGET)
+        b = run_point(table, traffic, 0.1, seed=2, engine="turbo",
+                      **self.BUDGET)
+        assert a == b
+
+    def test_single_use(self, table):
+        sim = TurboNetworkSimulator(table, uniform_random(N), 0.1, seed=0)
+        sim.run(100, 200)
+        with pytest.raises(RuntimeError, match="single-use"):
+            sim.run(100, 200)
+
+    def test_zero_rate_zero_stats(self, table):
+        st = TurboNetworkSimulator(table, uniform_random(N), 0.0).run(100, 300)
+        assert st.offered_packets == 0 and st.ejected_packets == 0
+        assert st.cycles == 300
+
+    def test_turbo_rejects_faults(self, table):
+        from repro.faults import parse_faults
+
+        faults = parse_faults("500:link_down:0-1")
+        with pytest.raises(ValueError, match="fault"):
+            run_batch(table, uniform_random(N), [(0.1, 0)], 100, 200,
+                      mode="turbo", faults=faults)
+        with pytest.raises(ValueError, match="fault"):
+            TurboNetworkSimulator(table, uniform_random(N), 0.1,
+                                  faults=faults)
+
+    def test_unknown_mode_rejected(self, table):
+        with pytest.raises(ValueError, match="unknown batch mode"):
+            run_batch(table, uniform_random(N), [(0.1, 0)], 100, 200,
+                      mode="warp")
+
+    def test_exact_mode_accepts_faults(self, table):
+        from repro.faults import parse_faults
+
+        faults = parse_faults("250:link_down:0-1")
+        st = run_batch(table, uniform_random(N), [(0.1, 0)], 100, 300,
+                       mode="exact", faults=faults)[0]
+        want = FastNetworkSimulator(
+            table, uniform_random(N), 0.1, seed=0, faults=faults
+        ).run(100, 300)
+        assert st == want
+
+
+# ---------------------------------------------------------------------------
+# Runner integration: batched task family + per-point cache identity.
+# ---------------------------------------------------------------------------
+
+
+class TestRunnerBatch:
+    BUDGET = dict(warmup=150, measure=400)
+
+    def test_exact_batch_populates_per_point_cache(self, table, tmp_path):
+        """Exact batch lanes land under the fast engine's ``sim_point``
+        keys, so per-point lookups (and ``Runner.curve``) hit them."""
+        from repro.runner import Runner
+        from repro.runner.tasks import TrafficSpec
+
+        spec = TrafficSpec.uniform(N)
+        rates = [0.05, 0.15]
+        with Runner(parallel=1, cache_dir=str(tmp_path)) as r:
+            batched = r.batch_points(
+                table, spec, [(rt, 0) for rt in rates], mode="exact",
+                **self.BUDGET,
+            )
+            curve = r.curve(table, spec, rates, seed=0, **self.BUDGET)
+            hits = r.stats.hits
+        assert hits >= len(rates)
+        for st, p in zip(batched, curve.points):
+            assert st.avg_latency_cycles == p.avg_latency_cycles
+
+    def test_turbo_batch_single_lane_roundtrip(self, table, tmp_path):
+        from repro.runner import Runner
+        from repro.runner.tasks import TrafficSpec
+
+        spec = TrafficSpec.uniform(N)
+        with Runner(parallel=1, cache_dir=str(tmp_path)) as r:
+            first = r.batch_points(
+                table, spec, [(0.05, 0), (0.12, 1)], mode="turbo",
+                **self.BUDGET,
+            )
+            again = r.batch_points(
+                table, spec, [(0.12, 1)], mode="turbo", **self.BUDGET,
+            )
+            hits = r.stats.hits
+        assert hits >= 1
+        assert again[0] == first[1]
+
+    def test_multi_seed_curves_matches_direct_batch(self, table, tmp_path):
+        from repro.runner import Runner
+        from repro.runner.tasks import TrafficSpec
+
+        rates = [0.05, 0.15, 0.30]
+        seeds = [0, 1]
+        with Runner(parallel=1, cache_dir=str(tmp_path)) as r:
+            curves = r.multi_seed_curves(
+                table, TrafficSpec.uniform(N), rates, seeds, mode="exact",
+                **self.BUDGET,
+            )
+        direct = latency_throughput_curves_batch(
+            table, uniform_random(N), rates, seeds, mode="exact",
+            **self.BUDGET,
+        )
+        assert set(curves) == set(seeds)
+        for s in seeds:
+            assert curves[s] == direct[s], s
